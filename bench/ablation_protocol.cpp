@@ -1,0 +1,97 @@
+// Ablation: eager vs rendezvous point-to-point protocol in MPI-FM 2
+// (extension beyond the paper's eager-only MPI-FM). Two effects:
+//  * pre-posted streaming: rendezvous pays an RTS/CTS round trip per
+//    message — eager wins until messages are large enough to amortize it;
+//  * unexpected flood: eager stages every payload (memory + copy),
+//    rendezvous queues only 24-byte envelopes.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "mpi/mpi_fm2.hpp"
+
+using namespace fmx;
+using namespace fmx::bench;
+using sim::Engine;
+using sim::Task;
+
+namespace {
+
+double bw(std::size_t msg, std::size_t threshold, int n_msgs = 60) {
+  Engine eng;
+  net::Cluster cluster(eng, net::ppro_fm2_cluster(2));
+  mpi::MpiFm2Options opt;
+  opt.eager_threshold = threshold;
+  mpi::MpiFm2 tx(cluster, 0, {}, opt), rx(cluster, 1, {}, opt);
+  sim::Ps t_end = 0;
+  eng.spawn([](mpi::Comm& c, std::size_t sz, int n) -> Task<void> {
+    Bytes m(sz);
+    for (int i = 0; i < n; ++i) co_await c.send(ByteSpan{m}, 1, 0);
+  }(tx, msg, n_msgs));
+  eng.spawn([](Engine& e, mpi::Comm& c, std::size_t sz, int n,
+               sim::Ps& end) -> Task<void> {
+    std::vector<Bytes> bufs(n, Bytes(sz));
+    std::vector<mpi::Request> reqs;
+    for (int i = 0; i < n; ++i) {
+      reqs.push_back(co_await c.irecv(MutByteSpan{bufs[i]}, 0, 0));
+    }
+    for (auto& r : reqs) co_await c.wait(r);
+    end = e.now();
+  }(eng, rx, msg, n_msgs, t_end));
+  eng.run();
+  return static_cast<double>(msg) * n_msgs / sim::to_seconds(t_end) / 1e6;
+}
+
+// Copied bytes on the receiver when the whole flood arrives unexpected.
+std::uint64_t unexpected_copied(std::size_t msg, std::size_t threshold) {
+  Engine eng;
+  net::Cluster cluster(eng, net::ppro_fm2_cluster(2));
+  mpi::MpiFm2Options opt;
+  opt.eager_threshold = threshold;
+  mpi::MpiFm2 tx(cluster, 0, {}, opt), rx(cluster, 1, {}, opt);
+  constexpr int kN = 8;
+  bool done = false;
+  eng.spawn([](mpi::Comm& c, std::size_t sz) -> Task<void> {
+    Bytes m(sz);
+    for (int i = 0; i < kN; ++i) co_await c.send(ByteSpan{m}, 1, 0);
+  }(tx, msg));
+  eng.spawn([](Engine& e, mpi::MpiFm2& c, std::size_t sz,
+               bool& d) -> Task<void> {
+    co_await e.delay(sim::ms(5));     // everything arrives first
+    (void)co_await c.fm().extract();  // ...unexpected
+    for (int i = 0; i < kN; ++i) {
+      Bytes buf(sz);
+      co_await c.recv(MutByteSpan{buf}, 0, 0);
+    }
+    d = true;
+  }(eng, rx, msg, done));
+  auto before = rx.fm().host().ledger();
+  eng.run();
+  return done ? rx.fm().host().ledger().diff(before).copied_bytes() : 0;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kEagerOnly = ~std::size_t{0};
+  std::puts("=== Ablation: eager vs rendezvous, pre-posted streaming "
+            "(MB/s) ===\n");
+  std::printf("%10s %12s %14s\n", "msg bytes", "eager", "rendezvous");
+  for (std::size_t s : {1024UL, 4096UL, 16384UL, 65536UL, 262144UL}) {
+    std::printf("%10zu %12.2f %14.2f\n", s, bw(s, kEagerOnly), bw(s, 1024));
+  }
+
+  std::puts("\n=== Ablation: receiver copy traffic when a flood of 32 KB "
+            "messages arrives unexpected ===\n");
+  std::uint64_t eager = unexpected_copied(32 * 1024, kEagerOnly);
+  std::uint64_t rdzv = unexpected_copied(32 * 1024, 1024);
+  std::printf("  eager:      %8.1f KB copied host-side (stage + deliver)\n",
+              eager / 1024.0);
+  std::printf("  rendezvous: %8.1f KB copied host-side (deliver only)\n",
+              rdzv / 1024.0);
+  std::puts("\neager amortizes no handshake but stages what the receiver "
+            "hasn't asked for;\nrendezvous defers payload until the buffer "
+            "is known — the classic protocol\ncrossover every MPI since has "
+            "shipped with.");
+  return 0;
+}

@@ -1,0 +1,265 @@
+#include "bench_util.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "sim/engine.hpp"
+
+namespace fmx::bench {
+
+using sim::Engine;
+using sim::Task;
+
+Measurement fm1_bandwidth(const net::ClusterParams& cp, std::size_t msg_size,
+                          int n_msgs, fm1::Config cfg) {
+  Engine eng;
+  net::Cluster cluster(eng, cp);
+  fm1::Endpoint tx(cluster, 0, cfg);
+  fm1::Endpoint rx(cluster, 1, cfg);
+  int got = 0;
+  rx.register_handler(0, [&](int, ByteSpan) { ++got; });
+
+  sim::Ps t_end = 0;
+  eng.spawn([](fm1::Endpoint& ep, std::size_t size, int n) -> Task<void> {
+    Bytes msg(size);
+    for (int i = 0; i < n; ++i) co_await ep.send(1, 0, ByteSpan{msg});
+  }(tx, msg_size, n_msgs));
+  eng.spawn([](Engine& e, fm1::Endpoint& ep, int& g, int n,
+               sim::Ps& end) -> Task<void> {
+    co_await ep.poll_until([&] { return g == n; });
+    end = e.now();
+  }(eng, rx, got, n_msgs, t_end));
+  auto tx_before = tx.host().ledger();
+  auto rx_before = rx.host().ledger();
+  eng.run();
+
+  Measurement m;
+  m.bandwidth_mbs = static_cast<double>(msg_size) * n_msgs /
+                    sim::to_seconds(t_end) / 1e6;
+  m.copies_send = tx.host().ledger().diff(tx_before).copies();
+  m.copies_recv = rx.host().ledger().diff(rx_before).copies();
+  return m;
+}
+
+double fm1_latency_us(const net::ClusterParams& cp, std::size_t msg_size,
+                      int rounds, fm1::Config cfg) {
+  Engine eng;
+  net::Cluster cluster(eng, cp);
+  fm1::Endpoint a(cluster, 0, cfg);
+  fm1::Endpoint b(cluster, 1, cfg);
+  int got_a = 0, got_b = 0;
+  a.register_handler(0, [&](int, ByteSpan) { ++got_a; });
+  b.register_handler(0, [&](int, ByteSpan) { ++got_b; });
+  sim::Ps t_end = 0;
+  eng.spawn([](Engine& e, fm1::Endpoint& ep, int& got, int n,
+               std::size_t size, sim::Ps& end) -> Task<void> {
+    Bytes msg(size);
+    for (int i = 0; i < n; ++i) {
+      co_await ep.send(1, 0, ByteSpan{msg});
+      co_await ep.poll_until([&, i] { return got > i; });
+    }
+    end = e.now();
+  }(eng, a, got_a, rounds, msg_size, t_end));
+  eng.spawn([](fm1::Endpoint& ep, int& got, int n, std::size_t size)
+                -> Task<void> {
+    Bytes msg(size);
+    for (int i = 0; i < n; ++i) {
+      co_await ep.poll_until([&, i] { return got > i; });
+      co_await ep.send(0, 0, ByteSpan{msg});
+    }
+  }(b, got_b, rounds, msg_size));
+  eng.run();
+  return sim::to_us(t_end) / (2.0 * rounds);
+}
+
+Measurement fm2_bandwidth(const net::ClusterParams& cp, std::size_t msg_size,
+                          int n_msgs, fm2::Config cfg) {
+  Engine eng;
+  net::Cluster cluster(eng, cp);
+  fm2::Endpoint tx(cluster, 0, cfg);
+  fm2::Endpoint rx(cluster, 1, cfg);
+  int got = 0;
+  Bytes sink(std::max<std::size_t>(msg_size, 1));
+  rx.register_handler(0, [&](fm2::RecvStream& s, int) -> fm2::HandlerTask {
+    if (s.msg_bytes() > 0) co_await s.receive(sink.data(), s.msg_bytes());
+    ++got;
+  });
+
+  sim::Ps t_end = 0;
+  eng.spawn([](fm2::Endpoint& ep, std::size_t size, int n) -> Task<void> {
+    Bytes msg(size);
+    for (int i = 0; i < n; ++i) co_await ep.send(1, 0, ByteSpan{msg});
+  }(tx, msg_size, n_msgs));
+  eng.spawn([](Engine& e, fm2::Endpoint& ep, int& g, int n,
+               sim::Ps& end) -> Task<void> {
+    co_await ep.poll_until([&] { return g == n; });
+    end = e.now();
+  }(eng, rx, got, n_msgs, t_end));
+  auto tx_before = tx.host().ledger();
+  auto rx_before = rx.host().ledger();
+  eng.run();
+
+  Measurement m;
+  m.bandwidth_mbs = static_cast<double>(msg_size) * n_msgs /
+                    sim::to_seconds(t_end) / 1e6;
+  m.copies_send = tx.host().ledger().diff(tx_before).copies();
+  m.copies_recv = rx.host().ledger().diff(rx_before).copies();
+  return m;
+}
+
+double fm2_latency_us(const net::ClusterParams& cp, std::size_t msg_size,
+                      int rounds, fm2::Config cfg) {
+  Engine eng;
+  net::Cluster cluster(eng, cp);
+  fm2::Endpoint a(cluster, 0, cfg);
+  fm2::Endpoint b(cluster, 1, cfg);
+  int got_a = 0, got_b = 0;
+  Bytes sink(std::max<std::size_t>(msg_size, 1));
+  auto make_handler = [&sink](int& counter) {
+    return [&sink, &counter](fm2::RecvStream& s, int) -> fm2::HandlerTask {
+      if (s.msg_bytes() > 0) co_await s.receive(sink.data(), s.msg_bytes());
+      ++counter;
+    };
+  };
+  a.register_handler(0, make_handler(got_a));
+  b.register_handler(0, make_handler(got_b));
+  sim::Ps t_end = 0;
+  eng.spawn([](Engine& e, fm2::Endpoint& ep, int& got, int n,
+               std::size_t size, sim::Ps& end) -> Task<void> {
+    Bytes msg(size);
+    for (int i = 0; i < n; ++i) {
+      co_await ep.send(1, 0, ByteSpan{msg});
+      co_await ep.poll_until([&, i] { return got > i; });
+    }
+    end = e.now();
+  }(eng, a, got_a, rounds, msg_size, t_end));
+  eng.spawn([](fm2::Endpoint& ep, int& got, int n, std::size_t size)
+                -> Task<void> {
+    Bytes msg(size);
+    for (int i = 0; i < n; ++i) {
+      co_await ep.poll_until([&, i] { return got > i; });
+      co_await ep.send(0, 0, ByteSpan{msg});
+    }
+  }(b, got_b, rounds, msg_size));
+  eng.run();
+  return sim::to_us(t_end) / (2.0 * rounds);
+}
+
+double half_power_point(const std::function<double(std::size_t)>& bw_of,
+                        double peak_mbs, std::size_t lo, std::size_t hi) {
+  double target = peak_mbs / 2.0;
+  std::size_t a = lo, b = hi;
+  double bw_a = bw_of(a);
+  if (bw_a >= target) return static_cast<double>(a);
+  while (b - a > 1) {
+    std::size_t mid = (a + b) / 2;
+    if (bw_of(mid) >= target) {
+      b = mid;
+    } else {
+      a = mid;
+    }
+  }
+  return static_cast<double>(b);
+}
+
+std::vector<std::size_t> paper_sizes(std::size_t lo, std::size_t hi) {
+  std::vector<std::size_t> v;
+  for (std::size_t s = lo; s <= hi; s *= 2) v.push_back(s);
+  return v;
+}
+
+void print_series(const std::string& title,
+                  const std::vector<std::size_t>& sizes,
+                  const std::vector<double>& values,
+                  const std::string& unit) {
+  std::printf("%s\n", title.c_str());
+  std::printf("  %10s  %12s\n", "msg bytes", unit.c_str());
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    std::printf("  %10zu  %12.2f\n", sizes[i], values[i]);
+  }
+}
+
+}  // namespace fmx::bench
+
+// Defined out of line to keep mpi headers out of bench_util.hpp users that
+// only need the FM layers.
+#include "mpi/mpi_fm1.hpp"
+#include "mpi/mpi_fm2.hpp"
+
+namespace fmx::bench {
+
+namespace {
+
+template <typename MpiT>
+Measurement mpi_bandwidth_impl(const net::ClusterParams& cp,
+                               std::size_t msg_size, int n_msgs) {
+  Engine eng;
+  net::Cluster cluster(eng, cp);
+  MpiT tx(cluster, 0), rx(cluster, 1);
+  sim::Ps t_end = 0;
+  eng.spawn([](mpi::Comm& c, std::size_t sz, int n) -> Task<void> {
+    Bytes m(sz);
+    for (int i = 0; i < n; ++i) co_await c.send(ByteSpan{m}, 1, 0);
+  }(tx, msg_size, n_msgs));
+  eng.spawn([](Engine& e, mpi::Comm& c, std::size_t sz, int n,
+               sim::Ps& end) -> Task<void> {
+    std::vector<Bytes> bufs(n, Bytes(sz));
+    std::vector<mpi::Request> reqs;
+    reqs.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      reqs.push_back(co_await c.irecv(MutByteSpan{bufs[i]}, 0, 0));
+    }
+    for (auto& r : reqs) co_await c.wait(r);
+    end = e.now();
+  }(eng, rx, msg_size, n_msgs, t_end));
+  eng.run();
+  Measurement m;
+  m.bandwidth_mbs = static_cast<double>(msg_size) * n_msgs /
+                    sim::to_seconds(t_end) / 1e6;
+  return m;
+}
+
+template <typename MpiT>
+double mpi_latency_impl(const net::ClusterParams& cp, std::size_t msg_size,
+                        int rounds) {
+  Engine eng;
+  net::Cluster cluster(eng, cp);
+  MpiT a(cluster, 0), b(cluster, 1);
+  sim::Ps t_end = 0;
+  eng.spawn([](Engine& e, mpi::Comm& c, std::size_t sz, int n,
+               sim::Ps& end) -> Task<void> {
+    Bytes m(sz), r(sz);
+    for (int i = 0; i < n; ++i) {
+      co_await c.send(ByteSpan{m}, 1, 0);
+      co_await c.recv(MutByteSpan{r}, 1, 0);
+    }
+    end = e.now();
+  }(eng, a, msg_size, rounds, t_end));
+  eng.spawn([](mpi::Comm& c, std::size_t sz, int n) -> Task<void> {
+    Bytes m(sz), r(sz);
+    for (int i = 0; i < n; ++i) {
+      co_await c.recv(MutByteSpan{r}, 0, 0);
+      co_await c.send(ByteSpan{m}, 0, 0);
+    }
+  }(b, msg_size, rounds));
+  eng.run();
+  return sim::to_us(t_end) / (2.0 * rounds);
+}
+
+}  // namespace
+
+Measurement mpi_bandwidth(MpiGen gen, const net::ClusterParams& cp,
+                          std::size_t msg_size, int n_msgs) {
+  return gen == MpiGen::kFm1
+             ? mpi_bandwidth_impl<mpi::MpiFm1>(cp, msg_size, n_msgs)
+             : mpi_bandwidth_impl<mpi::MpiFm2>(cp, msg_size, n_msgs);
+}
+
+double mpi_latency_us(MpiGen gen, const net::ClusterParams& cp,
+                      std::size_t msg_size, int rounds) {
+  return gen == MpiGen::kFm1
+             ? mpi_latency_impl<mpi::MpiFm1>(cp, msg_size, rounds)
+             : mpi_latency_impl<mpi::MpiFm2>(cp, msg_size, rounds);
+}
+
+}  // namespace fmx::bench

@@ -1,0 +1,125 @@
+// "Software overhead in messaging layers: where does the time go?" — the
+// question of the ASPLOS'94 study behind §2.3, asked of our own stacks.
+// Per-category host-time breakdown (from the cost ledger every layer
+// charges) for a 2 KB-message streaming workload, sender and receiver.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "mpi/mpi_fm1.hpp"
+#include "mpi/mpi_fm2.hpp"
+
+using namespace fmx;
+using sim::Cost;
+using sim::CostLedger;
+using sim::Engine;
+using sim::Task;
+
+namespace {
+
+struct Ledgers {
+  CostLedger tx, rx;
+};
+
+void print_breakdown(const char* name, const Ledgers& l) {
+  auto pct = [](const CostLedger& led, Cost c) {
+    return led.total() == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(led.of(c)) /
+                     static_cast<double>(led.total());
+  };
+  const Cost cats[] = {Cost::kCall,   Cost::kCopy,       Cost::kHeader,
+                       Cost::kPio,    Cost::kDispatch,   Cost::kMatch,
+                       Cost::kBufferMgmt, Cost::kFlowCtl};
+  std::printf("%-14s", name);
+  for (Cost c : cats) std::printf(" %6.1f", pct(l.tx, c));
+  std::printf("   | copies/msg %.1f\n",
+              static_cast<double>(l.tx.copies()) / 100.0);
+  std::printf("%-14s", "  (receiver)");
+  for (Cost c : cats) std::printf(" %6.1f", pct(l.rx, c));
+  std::printf("   | copies/msg %.1f\n",
+              static_cast<double>(l.rx.copies()) / 100.0);
+}
+
+constexpr int kMsgs = 100;
+constexpr std::size_t kSize = 2048;
+
+Ledgers fm1_run() {
+  Engine eng;
+  net::Cluster cluster(eng, net::sparc_fm1_cluster(2));
+  fm1::Endpoint tx(cluster, 0), rx(cluster, 1);
+  int got = 0;
+  rx.register_handler(0, [&](int, ByteSpan) { ++got; });
+  eng.spawn([](fm1::Endpoint& ep) -> Task<void> {
+    Bytes m(kSize);
+    for (int i = 0; i < kMsgs; ++i) co_await ep.send(1, 0, ByteSpan{m});
+  }(tx));
+  eng.spawn([](fm1::Endpoint& ep, int& g) -> Task<void> {
+    co_await ep.poll_until([&] { return g == kMsgs; });
+  }(rx, got));
+  eng.run();
+  return Ledgers{tx.host().ledger(), rx.host().ledger()};
+}
+
+Ledgers fm2_run() {
+  Engine eng;
+  net::Cluster cluster(eng, net::ppro_fm2_cluster(2));
+  fm2::Endpoint tx(cluster, 0), rx(cluster, 1);
+  int got = 0;
+  Bytes sink(kSize);
+  rx.register_handler(0, [&](fm2::RecvStream& s, int) -> fm2::HandlerTask {
+    co_await s.receive(sink.data(), s.msg_bytes());
+    ++got;
+  });
+  eng.spawn([](fm2::Endpoint& ep) -> Task<void> {
+    Bytes m(kSize);
+    for (int i = 0; i < kMsgs; ++i) co_await ep.send(1, 0, ByteSpan{m});
+  }(tx));
+  eng.spawn([](fm2::Endpoint& ep, int& g) -> Task<void> {
+    co_await ep.poll_until([&] { return g == kMsgs; });
+  }(rx, got));
+  eng.run();
+  return Ledgers{tx.host().ledger(), rx.host().ledger()};
+}
+
+template <typename MpiT>
+Ledgers mpi_run(const net::ClusterParams& cp) {
+  Engine eng;
+  net::Cluster cluster(eng, cp);
+  MpiT tx(cluster, 0), rx(cluster, 1);
+  eng.spawn([](mpi::Comm& c) -> Task<void> {
+    Bytes m(kSize);
+    for (int i = 0; i < kMsgs; ++i) co_await c.send(ByteSpan{m}, 1, 0);
+  }(tx));
+  eng.spawn([](mpi::Comm& c) -> Task<void> {
+    std::vector<Bytes> bufs(kMsgs, Bytes(kSize));
+    std::vector<mpi::Request> reqs;
+    for (int i = 0; i < kMsgs; ++i) {
+      reqs.push_back(co_await c.irecv(MutByteSpan{bufs[i]}, 0, 0));
+    }
+    for (auto& r : reqs) co_await c.wait(r);
+  }(rx));
+  eng.run();
+  return Ledgers{tx.fm().host().ledger(), rx.fm().host().ledger()};
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Where does the (host) time go? — % of charged host time "
+            "per category,\n    100 x 2 KB messages, sender row then "
+            "receiver row ===\n");
+  std::printf("%-14s %6s %6s %6s %6s %6s %6s %6s %6s\n", "stack", "call",
+              "copy", "header", "pio", "dispat", "match", "bufmgm", "flow");
+  print_breakdown("FM 1.x", fm1_run());
+  print_breakdown("MPI-FM 1.x",
+                  mpi_run<mpi::MpiFm1>(net::sparc_fm1_cluster(2)));
+  print_breakdown("FM 2.x", fm2_run());
+  print_breakdown("MPI-FM 2.0",
+                  mpi_run<mpi::MpiFm2>(net::ppro_fm2_cluster(2)));
+  std::puts("\nreading: FM 1.x sender time is PIO; MPI-FM 1.x drowns in "
+            "copy + buffer management\n(the paper's diagnosis); FM 2.x / "
+            "MPI-FM 2.0 receivers spend their time on the single\n"
+            "stream->user copy, with matching a thin layer on top.");
+  return 0;
+}

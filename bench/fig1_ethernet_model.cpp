@@ -1,0 +1,27 @@
+// Figure 1: delivered bandwidth of (a) 100 Mbit and (b) 1 Gbit Ethernet
+// assuming a fixed 125 us protocol-processing overhead per message.
+// Regenerates the two series of the paper's motivating chart.
+#include <cstdio>
+#include <vector>
+
+#include "analytic/protocol_model.hpp"
+
+int main() {
+  using namespace fmx::analytic;
+  std::puts("=== Figure 1: theoretical Ethernet bandwidth under 125 us "
+            "protocol overhead ===\n");
+  std::printf("%10s %18s %18s\n", "msg bytes", "100 Mbit (MB/s)",
+              "1 Gbit (MB/s)");
+  for (std::size_t s = 8; s <= 1024; s *= 2) {
+    std::printf("%10zu %18.3f %18.3f\n", s,
+                delivered_bandwidth(s, k100MbitPerSec, kFig1OverheadSec) / 1e6,
+                delivered_bandwidth(s, k1GbitPerSec, kFig1OverheadSec) / 1e6);
+  }
+  std::printf("\nhalf-power message size: %.0f B (100 Mbit), %.0f B (1 Gbit)\n",
+              half_power_size(k100MbitPerSec, kFig1OverheadSec),
+              half_power_size(k1GbitPerSec, kFig1OverheadSec));
+  std::puts("\npaper's point: with 125 us software overhead, even a 1 Gbit\n"
+            "link delivers under 8 MB/s to 1 KB messages — raw link speed\n"
+            "is irrelevant until the messaging layer's overhead falls.");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 2: breakdown of software overhead for Active Messages on the CM-5
+// (16-word message, 4-word packets), per guarantee layer and per side, for
+// the finite- and indefinite-sequence protocols.
+//
+// Reference values from the paper (finite sequence): 397 total cycles, of
+// which 148 buffer management, 21 in-order delivery, 47 fault tolerance.
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "am/cmam.hpp"
+
+using namespace fmx;
+using namespace fmx::am;
+
+namespace {
+
+struct Sides {
+  CycleLedger src;
+  CycleLedger dest;
+  CycleLedger total() const {
+    CycleLedger t;
+    t.base = src.base + dest.base;
+    t.buffer_mgmt = src.buffer_mgmt + dest.buffer_mgmt;
+    t.in_order = src.in_order + dest.in_order;
+    t.fault_tol = src.fault_tol + dest.fault_tol;
+    return t;
+  }
+};
+
+Sides run_case(SeqMode mode) {
+  sim::Engine eng;
+  Cm5Net net(eng, Cm5Params{});
+  CmamEndpoint src(net, 0, kAll, mode);
+  CmamEndpoint dst(net, 1, kAll, mode);
+  std::vector<Word> data(16);
+  std::iota(data.begin(), data.end(), 0u);
+  src.send_message(1, 0, data);
+  for (int i = 0; i < 100 && dst.messages_delivered() == 0; ++i) {
+    eng.run(eng.now() + sim::us(50));
+    src.poll();
+    dst.poll();
+  }
+  // Drain acks so the source ledger is complete.
+  eng.run();
+  src.poll();
+  dst.poll();
+  return Sides{src.src_cycles(), dst.dest_cycles()};
+}
+
+void print_ledger(const char* label, const CycleLedger& l) {
+  std::printf("  %-10s base %4llu | buffer %4llu | in-order %3llu | "
+              "fault-tol %3llu | total %4llu\n",
+              label, static_cast<unsigned long long>(l.base),
+              static_cast<unsigned long long>(l.buffer_mgmt),
+              static_cast<unsigned long long>(l.in_order),
+              static_cast<unsigned long long>(l.fault_tol),
+              static_cast<unsigned long long>(l.total()));
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Figure 2: CMAM overhead breakdown on the CM-5 "
+            "(16-word message, 4-word packets, cycles) ===\n");
+  auto fin = run_case(SeqMode::kFinite);
+  std::puts("Finite sequence:");
+  print_ledger("src", fin.src);
+  print_ledger("dest", fin.dest);
+  print_ledger("total", fin.total());
+
+  auto ind = run_case(SeqMode::kIndefinite);
+  std::puts("\nIndefinite sequence:");
+  print_ledger("src", ind.src);
+  print_ledger("dest", ind.dest);
+  print_ledger("total", ind.total());
+
+  auto t = fin.total();
+  double guarantees = static_cast<double>(t.buffer_mgmt + t.in_order +
+                                          t.fault_tol);
+  std::printf("\npaper reference (finite): total 397 = buffer 148 + "
+              "in-order 21 + fault-tol 47 + base 181\n");
+  std::printf("measured          (finite): total %llu = buffer %llu + "
+              "in-order %llu + fault-tol %llu + base %llu\n",
+              static_cast<unsigned long long>(t.total()),
+              static_cast<unsigned long long>(t.buffer_mgmt),
+              static_cast<unsigned long long>(t.in_order),
+              static_cast<unsigned long long>(t.fault_tol),
+              static_cast<unsigned long long>(t.base));
+  std::printf("guarantees are %.0f%% of total messaging cycles "
+              "(paper: 50-70%% on highly optimized layers)\n",
+              100.0 * guarantees / static_cast<double>(t.total()));
+  return 0;
+}

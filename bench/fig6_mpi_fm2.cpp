@@ -1,0 +1,41 @@
+// Figure 6: MPI-FM 2.0 compared to FM 2.0 — (a) absolute bandwidth,
+// (b) % efficiency. Paper: over 70% even at 16 bytes, rising rapidly to
+// ~90%; 70 MB/s of FM's 77 MB/s; MPI-FM latency 17 us.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace fmx;
+using namespace fmx::bench;
+
+int main() {
+  auto platform = net::ppro_fm2_cluster(2);
+  auto sizes = paper_sizes(16, 2048);
+
+  std::puts("=== Figure 6: MPI-FM 2.0 vs FM 2.0 ===\n");
+  std::printf("%10s %12s %12s %14s\n", "msg bytes", "FM MB/s", "MPI MB/s",
+              "efficiency %");
+  double eff16 = 0, eff_top = 0, fm_top = 0, mpi_top = 0;
+  for (auto s : sizes) {
+    double f = fm2_bandwidth(platform, s).bandwidth_mbs;
+    double m = mpi_bandwidth(MpiGen::kFm2, platform, s).bandwidth_mbs;
+    double eff = 100.0 * m / f;
+    if (s == 16) eff16 = eff;
+    if (s == 2048) {
+      eff_top = eff;
+      fm_top = f;
+      mpi_top = m;
+    }
+    std::printf("%10zu %12.2f %12.2f %14.1f\n", s, f, m, eff);
+  }
+  double lat = mpi_latency_us(MpiGen::kFm2, platform, 16);
+  std::printf("\nmeasured: %.0f%% at 16 B rising to %.0f%% at 2 KB; "
+              "%.1f of %.1f MB/s; MPI latency %.1f us\n",
+              eff16, eff_top, mpi_top, fm_top, lat);
+  std::puts("paper:    over 70% at 16 B rising to ~90%; 70 of 77 MB/s; "
+            "MPI latency 17 us");
+  std::puts("\nthe gather/scatter + layer interleaving + receiver flow\n"
+            "control interface delivers nearly all of FM's bandwidth to\n"
+            "MPI — the paper's central result.");
+  return 0;
+}

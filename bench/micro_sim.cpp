@@ -1,0 +1,100 @@
+// google-benchmark microbenchmarks of the simulator machinery itself: how
+// much real (wall-clock) time the framework costs per simulated event,
+// message, and checksum. These guard against accidental slowdowns in the
+// substrate every experiment runs on.
+#include <benchmark/benchmark.h>
+
+#include "common/crc32.hpp"
+#include "fm2/fm2.hpp"
+#include "sim/channel.hpp"
+#include "sim/engine.hpp"
+
+using namespace fmx;
+
+namespace {
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    for (int i = 0; i < 1000; ++i) {
+      eng.schedule_at(sim::us(i), [] {});
+    }
+    eng.run();
+    benchmark::DoNotOptimize(eng.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineScheduleRun);
+
+void BM_CoroutinePingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    sim::Channel<int> a(eng, 1), b(eng, 1);
+    eng.spawn([](sim::Channel<int>& in, sim::Channel<int>& out)
+                  -> sim::Task<void> {
+      for (int i = 0; i < 500; ++i) {
+        co_await out.push(i);
+        (void)co_await in.pop();
+      }
+    }(a, b));
+    eng.spawn([](sim::Channel<int>& in, sim::Channel<int>& out)
+                  -> sim::Task<void> {
+      for (int i = 0; i < 500; ++i) {
+        int v = co_await in.pop();
+        co_await out.push(v);
+      }
+    }(b, a));
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_CoroutinePingPong);
+
+void BM_Crc32(benchmark::State& state) {
+  Bytes data = pattern_bytes(1, state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32(ByteSpan{data}));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_PatternBytes(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pattern_bytes(7, state.range(0)));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PatternBytes)->Arg(1024)->Arg(65536);
+
+// Real time per fully-simulated FM 2.x message (the cost of running one
+// end-to-end experiment data point).
+void BM_Fm2EndToEnd(benchmark::State& state) {
+  const std::size_t msg = state.range(0);
+  for (auto _ : state) {
+    sim::Engine eng;
+    net::Cluster cluster(eng, net::ppro_fm2_cluster(2));
+    fm2::Endpoint tx(cluster, 0), rx(cluster, 1);
+    int got = 0;
+    Bytes sink(msg);
+    rx.register_handler(0, [&](fm2::RecvStream& s, int) -> fm2::HandlerTask {
+      co_await s.receive(sink.data(), s.msg_bytes());
+      ++got;
+    });
+    eng.spawn([](fm2::Endpoint& ep, std::size_t sz) -> sim::Task<void> {
+      Bytes m(sz);
+      for (int i = 0; i < 10; ++i) co_await ep.send(1, 0, ByteSpan{m});
+    }(tx, msg));
+    eng.spawn([](fm2::Endpoint& ep, int& g) -> sim::Task<void> {
+      co_await ep.poll_until([&] { return g == 10; });
+    }(rx, got));
+    eng.run();
+    benchmark::DoNotOptimize(got);
+  }
+  state.SetItemsProcessed(state.iterations() * 10);
+}
+BENCHMARK(BM_Fm2EndToEnd)->Arg(64)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// §2 motivation, made executable: the traffic studies (§2.1), the legacy-
+// protocol overhead argument (§2.2), and what both FM generations deliver
+// to realistic short-message-dominated mixes.
+#include <cstdio>
+
+#include "analytic/protocol_model.hpp"
+#include "bench_util.hpp"
+#include "workload/traffic.hpp"
+
+using namespace fmx;
+using namespace fmx::bench;
+using workload::SizeDistribution;
+
+int main() {
+  std::puts("=== §2.1: message-size studies (modelled distributions) ===\n");
+  std::printf("%-22s %10s %12s %12s\n", "study", "mean B", "<=200 B",
+              "<=576 B");
+  for (const auto& d : {SizeDistribution::gusella_ethernet(),
+                        SizeDistribution::kay_pasquale_tcp(),
+                        SizeDistribution::kay_pasquale_udp(),
+                        SizeDistribution::suny_buffalo()}) {
+    std::printf("%-22s %10.0f %11.1f%% %11.1f%%\n",
+                std::string(d.name()).c_str(), d.mean(),
+                100 * d.fraction_at_most(200),
+                100 * d.fraction_at_most(576));
+  }
+
+  std::puts("\n=== §2.2: what 125 us/packet overhead does to such traffic "
+            "===\n");
+  // "for typical packet size distributions (< 256 bytes), bandwidths of no
+  // greater than 2 megabytes/second could be sustained"
+  using namespace fmx::analytic;
+  for (std::size_t s : {64UL, 128UL, 256UL}) {
+    std::printf("  %4zu B messages over UDP-class stack: %.2f MB/s\n", s,
+                delivered_bandwidth(s, k1GbitPerSec, kFig1OverheadSec) / 1e6);
+  }
+
+  std::puts("\n=== delivered bandwidth on the Gusella mix, per message "
+            "size class ===\n");
+  auto sparc = net::sparc_fm1_cluster(2);
+  auto ppro = net::ppro_fm2_cluster(2);
+  std::printf("%-12s %14s %14s %14s\n", "class", "FM 1.x MB/s",
+              "FM 2.x MB/s", "MPI-FM2 MB/s");
+  struct Cls {
+    const char* name;
+    std::size_t size;
+  };
+  for (auto [name, size] : {Cls{"tiny(32B)", 32}, Cls{"short(128B)", 128},
+                            Cls{"mid(576B)", 576}, Cls{"bulk(1500B)", 1500}}) {
+    std::printf("%-12s %14.2f %14.2f %14.2f\n", name,
+                fm1_bandwidth(sparc, size).bandwidth_mbs,
+                fm2_bandwidth(ppro, size).bandwidth_mbs,
+                mpi_bandwidth(MpiGen::kFm2, ppro, size).bandwidth_mbs);
+  }
+  std::puts("\nthe paper's motivation quantified: on the traffic that "
+            "dominates real networks,\noverhead — not link speed — decides "
+            "delivered bandwidth; see examples/traffic_replay\nfor a full "
+            "mixed-size replay through both MPI stacks.");
+  return 0;
+}

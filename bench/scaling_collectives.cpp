@@ -1,0 +1,72 @@
+// Cluster-size scaling of MPI-FM 2.0 collectives on the simulated Myrinet
+// fabric (multiple 8-port switches chained beyond 8 hosts). Latencies
+// should grow ~logarithmically with ranks for the tree/dissemination
+// algorithms; allgather's ring grows linearly — visible in the table.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "mpi/mpi_fm2.hpp"
+
+using namespace fmx;
+using sim::Engine;
+using sim::Task;
+
+namespace {
+
+enum class Op { kBarrier, kBcast, kAllreduce, kAllgather };
+
+double collective_us(Op op, int ranks, int iters = 20) {
+  Engine eng;
+  net::Cluster cluster(eng, net::ppro_fm2_cluster(ranks));
+  std::vector<std::unique_ptr<mpi::MpiFm2>> comms;
+  for (int r = 0; r < ranks; ++r) {
+    comms.push_back(std::make_unique<mpi::MpiFm2>(cluster, r));
+  }
+  sim::Ps t_end = 0;
+  for (int r = 0; r < ranks; ++r) {
+    eng.spawn([](Engine& e, mpi::Comm& c, Op o, int n, int nranks,
+                 sim::Ps& end) -> Task<void> {
+      Bytes buf(256);
+      std::vector<double> v(8, 1.0);
+      Bytes all(nranks * 64);
+      Bytes block(64);
+      for (int i = 0; i < n; ++i) {
+        switch (o) {
+          case Op::kBarrier: co_await c.barrier(); break;
+          case Op::kBcast: co_await c.bcast(MutByteSpan{buf}, 0); break;
+          case Op::kAllreduce:
+            co_await c.allreduce_sum(std::span<double>{v});
+            break;
+          case Op::kAllgather:
+            co_await c.allgather(ByteSpan{block}, MutByteSpan{all});
+            break;
+        }
+      }
+      if (c.rank() == 0) end = e.now();
+    }(eng, *comms[r], op, iters, ranks, t_end));
+  }
+  eng.run();
+  return sim::to_us(t_end) / iters;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== MPI-FM 2.0 collective latency vs cluster size (us per "
+            "operation) ===\n");
+  std::printf("%8s %10s %10s %12s %12s\n", "ranks", "barrier", "bcast 256B",
+              "allreduce 8d", "allgather");
+  for (int n : {2, 4, 8, 16}) {
+    std::printf("%8d %10.1f %10.1f %12.1f %12.1f\n", n,
+                collective_us(Op::kBarrier, n),
+                collective_us(Op::kBcast, n),
+                collective_us(Op::kAllreduce, n),
+                collective_us(Op::kAllgather, n));
+  }
+  std::puts("\ntree/dissemination algorithms grow ~log(n); the ring "
+            "allgather grows ~linearly;\nthe 8->16 step also crosses onto a "
+            "second switch (one extra hop on some paths).");
+  return 0;
+}

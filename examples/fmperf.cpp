@@ -1,0 +1,125 @@
+// fmperf — a netperf-style command-line tool for the simulated cluster.
+// Pick a layer and a measurement, get a table; the tool a user pointed at
+// this library would reach for first.
+//
+//   fmperf [--layer fm1|fm2|mpi1|mpi2] [--mode bw|lat] [--min 16]
+//          [--max 65536] [--msgs 200] [--credits N] [--mtu N]
+//
+// Examples:
+//   ./build/examples/fmperf --layer fm2 --mode bw
+//   ./build/examples/fmperf --layer mpi2 --mode lat --min 16 --max 4096
+//   ./build/examples/fmperf --layer fm2 --mtu 512 --credits 4
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench_util.hpp"
+
+using namespace fmx;
+using namespace fmx::bench;
+
+namespace {
+
+struct Options {
+  std::string layer = "fm2";
+  std::string mode = "bw";
+  std::size_t min_size = 16;
+  std::size_t max_size = 65536;
+  int msgs = 200;
+  int credits = 0;  // 0 = default
+  std::size_t mtu = 0;  // 0 = platform default
+};
+
+[[noreturn]] void usage() {
+  std::puts("usage: fmperf [--layer fm1|fm2|mpi1|mpi2] [--mode bw|lat]\n"
+            "              [--min BYTES] [--max BYTES] [--msgs N]\n"
+            "              [--credits N] [--mtu BYTES]");
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        usage();
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--layer")) {
+      o.layer = need("--layer");
+    } else if (!std::strcmp(argv[i], "--mode")) {
+      o.mode = need("--mode");
+    } else if (!std::strcmp(argv[i], "--min")) {
+      o.min_size = std::strtoull(need("--min"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--max")) {
+      o.max_size = std::strtoull(need("--max"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--msgs")) {
+      o.msgs = std::atoi(need("--msgs"));
+    } else if (!std::strcmp(argv[i], "--credits")) {
+      o.credits = std::atoi(need("--credits"));
+    } else if (!std::strcmp(argv[i], "--mtu")) {
+      o.mtu = std::strtoull(need("--mtu"), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      usage();
+    }
+  }
+  if (o.layer != "fm1" && o.layer != "fm2" && o.layer != "mpi1" &&
+      o.layer != "mpi2") {
+    usage();
+  }
+  if (o.mode != "bw" && o.mode != "lat") usage();
+  if (o.min_size == 0 || o.max_size < o.min_size || o.msgs <= 0) usage();
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o = parse(argc, argv);
+  bool gen1 = o.layer == "fm1" || o.layer == "mpi1";
+  net::ClusterParams p =
+      gen1 ? net::sparc_fm1_cluster(2) : net::ppro_fm2_cluster(2);
+  if (o.mtu > 0) p.nic.mtu_payload = o.mtu;
+  fm1::Config c1;
+  fm2::Config c2;
+  if (o.credits > 0) {
+    c1.credits_per_peer = o.credits;
+    c2.credits_per_peer = o.credits;
+  }
+
+  std::printf("fmperf: layer=%s mode=%s platform=%s mtu=%zu\n\n",
+              o.layer.c_str(), o.mode.c_str(),
+              gen1 ? "Sparc/SBus/Myrinet-1" : "PPro/PCI/Myrinet-2",
+              p.nic.mtu_payload);
+  std::printf("%10s  %14s\n", "msg bytes",
+              o.mode == "bw" ? "MB/s" : "one-way us");
+  for (std::size_t s = o.min_size; s <= o.max_size; s *= 2) {
+    double v;
+    if (o.mode == "bw") {
+      if (o.layer == "fm1") {
+        v = fm1_bandwidth(p, s, o.msgs, c1).bandwidth_mbs;
+      } else if (o.layer == "fm2") {
+        v = fm2_bandwidth(p, s, o.msgs, c2).bandwidth_mbs;
+      } else {
+        v = mpi_bandwidth(o.layer == "mpi1" ? MpiGen::kFm1 : MpiGen::kFm2,
+                          p, s, o.msgs)
+                .bandwidth_mbs;
+      }
+    } else {
+      if (o.layer == "fm1") {
+        v = fm1_latency_us(p, s, 40, c1);
+      } else if (o.layer == "fm2") {
+        v = fm2_latency_us(p, s, 40, c2);
+      } else {
+        v = mpi_latency_us(o.layer == "mpi1" ? MpiGen::kFm1 : MpiGen::kFm2,
+                           p, s, 40);
+      }
+    }
+    std::printf("%10zu  %14.2f\n", s, v);
+  }
+  return 0;
+}

@@ -1,0 +1,241 @@
+#include "am/cmam.hpp"
+
+#include <cassert>
+
+namespace fmx::am {
+namespace {
+
+// Cycle costs per primitive operation, calibrated so the reference case of
+// Figure 2 / the ASPLOS'94 study (16-word message, 4-word packets, finite
+// sequence, all guarantees) reproduces the published breakdown:
+//   buffer management 148, in-order 21, fault tolerance 47, total ~397.
+struct Costs {
+  // base
+  std::uint64_t compose_pkt = 12;     // src, per packet
+  std::uint64_t inject_pkt = 10;      // src, per packet
+  std::uint64_t receive_pkt = 22;     // dest, per packet
+  std::uint64_t dispatch = 5;         // dest, per handler invocation
+  std::uint64_t indef_len_check = 2;  // both, per packet (indefinite only)
+  // buffer management (dest)
+  std::uint64_t buf_alloc_finite = 40;     // once per message
+  std::uint64_t buf_track_pkt = 24;        // per packet (place + account)
+  std::uint64_t buf_free = 12;             // once per message
+  std::uint64_t buf_grow_indef = 38;       // per packet (indefinite)
+  std::uint64_t buf_finalize_indef = 20;   // once per message (indefinite)
+  // in-order
+  std::uint64_t seq_stamp = 1;     // src, per packet
+  std::uint64_t seq_check = 4;     // dest, per packet
+  std::uint64_t seq_setup = 1;     // dest, per message
+  std::uint64_t reorder_stash = 9; // dest, per out-of-order packet
+  // fault tolerance
+  std::uint64_t ft_retain = 6;     // src, per packet (copy + timer arm)
+  std::uint64_t ft_ack_proc = 2;   // src, per ack received
+  std::uint64_t ft_timer_setup = 3;  // src, per message
+  std::uint64_t ft_ack_gen = 3;    // dest, per packet
+  std::uint64_t ft_retransmit = 8; // src, per retransmitted packet
+};
+constexpr Costs kC{};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Network
+
+void Cm5Net::send(Packet pkt) {
+  ++stats_.packets;
+  if (p_.drop_rate > 0.0 && rng_.bernoulli(p_.drop_rate)) {
+    ++stats_.dropped;
+    return;
+  }
+  double delay_ns = p_.net_latency_ns;
+  if (p_.reorder_window_ns > 0.0) {
+    delay_ns += rng_.uniform_real() * p_.reorder_window_ns;
+  }
+  CmamEndpoint* dst = eps_.at(pkt.dst);
+  eng_.schedule_in(sim::ns(delay_ns), [dst, p = std::move(pkt)]() mutable {
+    dst->deliver(std::move(p));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint
+
+CmamEndpoint::CmamEndpoint(Cm5Net& net, int id, unsigned guarantees,
+                           SeqMode mode)
+    : net_(net), id_(id), g_(guarantees), mode_(mode) {
+  handlers_.resize(64);
+  next_send_seq_.resize(64, 0);
+  next_recv_seq_.resize(64, 0);
+  net_.attach(this);
+}
+
+void CmamEndpoint::register_handler(std::uint16_t id, MsgHandler h) {
+  handlers_.at(id) = std::move(h);
+}
+
+void CmamEndpoint::send_message(int dst, std::uint16_t handler,
+                                std::span<const Word> data) {
+  const int wpp = net_.params().words_per_packet;
+  const std::uint16_t total =
+      static_cast<std::uint16_t>((data.size() + wpp - 1) / wpp);
+  const std::uint32_t msg_id = next_msg_id_++;
+  if (g_ & kFaultTol) src_.fault_tol += kC.ft_timer_setup;
+  for (std::uint16_t i = 0; i < total; ++i) {
+    Packet pkt;
+    pkt.src = id_;
+    pkt.dst = dst;
+    pkt.msg_id = msg_id;
+    pkt.pkt_index = i;
+    pkt.handler = handler;
+    pkt.last = (i + 1 == total);
+    // Finite sequence: the length travels with every packet. Indefinite:
+    // only the termination marker does, and both sides pay a per-packet
+    // length/termination check.
+    pkt.total_pkts = mode_ == SeqMode::kFinite ? total : 0;
+    if (mode_ == SeqMode::kIndefinite) src_.base += kC.indef_len_check;
+    std::size_t off = static_cast<std::size_t>(i) * wpp;
+    std::size_t n = std::min<std::size_t>(wpp, data.size() - off);
+    pkt.words.assign(data.begin() + off, data.begin() + off + n);
+    src_.base += kC.compose_pkt;
+    if (g_ & kInOrder) {
+      pkt.src_seq = next_send_seq_[dst]++;
+      src_.in_order += kC.seq_stamp;
+    }
+    if (g_ & kFaultTol) {
+      src_.fault_tol += kC.ft_retain;
+      retained_[{msg_id, i}] = pkt;
+    }
+    src_.base += kC.inject_pkt;
+    net_.send(std::move(pkt));
+  }
+}
+
+void CmamEndpoint::retransmit_unacked() {
+  for (auto& [key, pkt] : retained_) {
+    src_.fault_tol += kC.ft_retransmit;
+    net_.send(pkt);
+  }
+}
+
+void CmamEndpoint::poll() {
+  while (!inbox_.empty()) {
+    Packet pkt = std::move(inbox_.front());
+    inbox_.pop_front();
+    process(pkt);
+  }
+}
+
+void CmamEndpoint::process(Packet& pkt) {
+  if (pkt.is_ack) {
+    // We are the original sender of the acked packet.
+    src_.fault_tol += kC.ft_ack_proc;
+    retained_.erase({pkt.msg_id, pkt.pkt_index});
+    return;
+  }
+  dest_.base += kC.receive_pkt;
+  if (mode_ == SeqMode::kIndefinite) dest_.base += kC.indef_len_check;
+  if (g_ & kFaultTol) {
+    dest_.fault_tol += kC.ft_ack_gen;
+    Packet ack;
+    ack.src = id_;
+    ack.dst = pkt.src;
+    ack.is_ack = true;
+    ack.msg_id = pkt.msg_id;
+    ack.pkt_index = pkt.pkt_index;
+    net_.send(std::move(ack));
+  }
+  if (g_ & kInOrder) {
+    if (!ordered_admit(pkt)) return;  // stashed or duplicate
+    // Admit this packet, then drain any now-in-order stashed packets.
+    handle_data(pkt);
+    auto it = reorder_q_.find({pkt.src, next_recv_seq_[pkt.src]});
+    while (it != reorder_q_.end()) {
+      Packet next = std::move(it->second);
+      reorder_q_.erase(it);
+      ++next_recv_seq_[next.src];
+      handle_data(next);
+      it = reorder_q_.find({pkt.src, next_recv_seq_[pkt.src]});
+    }
+  } else {
+    handle_data(pkt);
+  }
+}
+
+bool CmamEndpoint::ordered_admit(Packet& pkt) {
+  dest_.in_order += kC.seq_check;
+  std::uint32_t& expect = next_recv_seq_[pkt.src];
+  if (pkt.src_seq < expect) return false;  // duplicate (retransmission)
+  if (pkt.src_seq > expect) {
+    dest_.in_order += kC.reorder_stash;
+    reorder_q_.emplace(std::make_pair(pkt.src, pkt.src_seq), std::move(pkt));
+    return false;
+  }
+  ++expect;
+  return true;
+}
+
+void CmamEndpoint::handle_data(Packet& pkt) {
+  if (!(g_ & kBufferMgmt)) {
+    // Raw AM semantics: one handler invocation per packet, data in place.
+    dispatch(pkt.src, pkt.handler, pkt.words);
+    return;
+  }
+  const int wpp = net_.params().words_per_packet;
+  std::uint64_t key =
+      (static_cast<std::uint64_t>(pkt.src) << 32) | pkt.msg_id;
+  auto [it, fresh] = partial_.try_emplace(key);
+  Reassembly& r = it->second;
+  if (fresh) {
+    dest_.in_order += (g_ & kInOrder) ? kC.seq_setup : 0;
+    r.handler = pkt.handler;
+    if (mode_ == SeqMode::kFinite) {
+      dest_.buffer_mgmt += kC.buf_alloc_finite;
+      r.total = pkt.total_pkts;
+      r.words.resize(static_cast<std::size_t>(r.total) * wpp);
+      r.seen.resize(r.total, false);
+    }
+  }
+  std::size_t off = static_cast<std::size_t>(pkt.pkt_index) * wpp;
+  if (mode_ == SeqMode::kFinite) {
+    dest_.buffer_mgmt += kC.buf_track_pkt;
+  } else {
+    dest_.buffer_mgmt += kC.buf_grow_indef;
+    if (r.words.size() < off + pkt.words.size()) {
+      r.words.resize(off + pkt.words.size());
+    }
+    if (r.seen.size() <= pkt.pkt_index) r.seen.resize(pkt.pkt_index + 1);
+    if (pkt.last) r.saw_last = true;
+    if (pkt.total_pkts == 0 && pkt.last) {
+      r.total = static_cast<std::uint16_t>(pkt.pkt_index + 1);
+    }
+  }
+  // Duplicate-safe placement (retransmissions may repeat a packet).
+  if (r.seen[pkt.pkt_index]) return;
+  r.seen[pkt.pkt_index] = true;
+  std::copy(pkt.words.begin(), pkt.words.end(), r.words.begin() + off);
+  ++r.received;
+  bool complete = false;
+  if (mode_ == SeqMode::kFinite) {
+    complete = r.received >= r.total;
+  } else {
+    complete = r.saw_last && r.total != 0 && r.received >= r.total;
+    if (complete) dest_.buffer_mgmt += kC.buf_finalize_indef;
+  }
+  if (complete) {
+    dest_.buffer_mgmt += kC.buf_free;
+    std::vector<Word> words = std::move(r.words);
+    auto handler = r.handler;
+    auto src = pkt.src;
+    partial_.erase(it);
+    dispatch(src, handler, words);
+  }
+}
+
+void CmamEndpoint::dispatch(int src, std::uint16_t handler,
+                            std::span<const Word> data) {
+  dest_.base += kC.dispatch;
+  ++delivered_;
+  if (auto& fn = handlers_.at(handler)) fn(src, data);
+}
+
+}  // namespace fmx::am

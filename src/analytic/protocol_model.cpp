@@ -1,0 +1,22 @@
+#include "analytic/protocol_model.hpp"
+
+namespace fmx::analytic {
+
+double message_time(std::size_t msg_bytes, double link_bits_per_sec,
+                    double overhead_sec) {
+  return overhead_sec +
+         8.0 * static_cast<double>(msg_bytes) / link_bits_per_sec;
+}
+
+double delivered_bandwidth(std::size_t msg_bytes, double link_bits_per_sec,
+                           double overhead_sec) {
+  if (msg_bytes == 0) return 0.0;
+  return static_cast<double>(msg_bytes) /
+         message_time(msg_bytes, link_bits_per_sec, overhead_sec);
+}
+
+double half_power_size(double link_bits_per_sec, double overhead_sec) {
+  return overhead_sec * link_bits_per_sec / 8.0;
+}
+
+}  // namespace fmx::analytic

@@ -1,0 +1,31 @@
+// Closed-form protocol performance models (paper §1-§2).
+// Figure 1 plots delivered bandwidth for 100 Mbit and 1 Gbit Ethernet under
+// a fixed 125 us per-packet protocol-processing overhead: the model that
+// motivates low-overhead messaging layers in the first place.
+#pragma once
+
+#include <cstddef>
+
+namespace fmx::analytic {
+
+/// Delivered bandwidth (bytes/s) for messages of `msg_bytes` over a link of
+/// `link_bits_per_sec`, paying `overhead_sec` of fixed software overhead per
+/// message:  BW(s) = s / (o + 8 s / B).
+double delivered_bandwidth(std::size_t msg_bytes, double link_bits_per_sec,
+                           double overhead_sec);
+
+/// The half-power message size N1/2 for the same model: the size at which
+/// half of the asymptotic link bandwidth is delivered. For BW(s) above this
+/// is exactly  N1/2 = o * B / 8.
+double half_power_size(double link_bits_per_sec, double overhead_sec);
+
+/// Effective per-message time (seconds) under the fixed+per-byte model.
+double message_time(std::size_t msg_bytes, double link_bits_per_sec,
+                    double overhead_sec);
+
+/// Fixed 125 us/packet overhead used in Figure 1.
+constexpr double kFig1OverheadSec = 125e-6;
+constexpr double k100MbitPerSec = 100e6;
+constexpr double k1GbitPerSec = 1e9;
+
+}  // namespace fmx::analytic

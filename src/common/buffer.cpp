@@ -1,0 +1,44 @@
+#include "common/buffer.hpp"
+
+#include <cstdio>
+
+namespace fmx {
+namespace {
+
+// splitmix64-style mixing: cheap, stateless, good dispersion.
+constexpr std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+constexpr std::byte pattern_byte(std::uint64_t seed, std::size_t i) noexcept {
+  return static_cast<std::byte>(mix(seed ^ (i * 0x2545F4914F6CDD1Dull)) & 0xFF);
+}
+
+}  // namespace
+
+Bytes pattern_bytes(std::uint64_t seed, std::size_t len) {
+  Bytes out(len);
+  for (std::size_t i = 0; i < len; ++i) out[i] = pattern_byte(seed, i);
+  return out;
+}
+
+std::ptrdiff_t pattern_mismatch(std::uint64_t seed, std::size_t offset,
+                                ByteSpan data) noexcept {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data[i] != pattern_byte(seed, offset + i)) {
+      return static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  return -1;
+}
+
+std::string format_mbps(double bytes_per_second) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f MB/s", bytes_per_second / 1e6);
+  return buf;
+}
+
+}  // namespace fmx

@@ -1,0 +1,46 @@
+// Byte-buffer utilities shared by every layer. All payload data in the
+// simulation is carried in real buffers and really copied, so end-to-end
+// integrity (and copy counts) are observable properties, not assumptions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fmx {
+
+using Bytes = std::vector<std::byte>;
+using ByteSpan = std::span<const std::byte>;
+using MutByteSpan = std::span<std::byte>;
+
+/// View any trivially-copyable object as bytes.
+template <typename T>
+ByteSpan as_bytes_of(const T& v) noexcept {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return {reinterpret_cast<const std::byte*>(&v), sizeof(T)};
+}
+
+template <typename T>
+MutByteSpan as_writable_bytes_of(T& v) noexcept {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return {reinterpret_cast<std::byte*>(&v), sizeof(T)};
+}
+
+/// Deterministic pseudo-random payload used by tests and benchmarks:
+/// byte i of a message with the given seed is a pure function of (seed, i),
+/// so any receiver can validate any slice without shipping the expected
+/// data out of band.
+Bytes pattern_bytes(std::uint64_t seed, std::size_t len);
+
+/// Check `data` against the pattern starting at `offset` of pattern `seed`.
+/// Returns the index of the first mismatching byte, or -1 if all match.
+std::ptrdiff_t pattern_mismatch(std::uint64_t seed, std::size_t offset,
+                                ByteSpan data) noexcept;
+
+/// Human-readable "12.3 MB/s" style formatting used by the bench harness.
+std::string format_mbps(double bytes_per_second);
+
+}  // namespace fmx

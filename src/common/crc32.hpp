@@ -1,0 +1,25 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected), used to model Myrinet's
+// per-packet CRC. Packets really carry and verify this checksum so the
+// bit-error-injection tests can observe genuine detection behaviour.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace fmx {
+
+/// Incremental CRC-32. `crc32(data)` computes the checksum of a whole
+/// buffer; the (seed, data) overload allows chunked computation:
+///   crc = crc32_update(crc32_init(), chunk1); crc = crc32_update(crc, chunk2);
+///   value = crc32_final(crc);
+std::uint32_t crc32(std::span<const std::byte> data) noexcept;
+
+constexpr std::uint32_t crc32_init() noexcept { return 0xFFFFFFFFu; }
+std::uint32_t crc32_update(std::uint32_t state,
+                           std::span<const std::byte> data) noexcept;
+constexpr std::uint32_t crc32_final(std::uint32_t state) noexcept {
+  return state ^ 0xFFFFFFFFu;
+}
+
+}  // namespace fmx

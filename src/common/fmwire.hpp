@@ -1,0 +1,38 @@
+// Packet-level wire format shared by the FM 1.x and FM 2.x libraries.
+// Serialized for real into every packet's first 16 bytes.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+
+#include "common/buffer.hpp"
+
+namespace fmx::wire {
+
+enum class PacketType : std::uint16_t { kData = 1, kCredit = 2 };
+
+struct PacketHeader {
+  std::uint16_t type = 0;      // PacketType
+  std::uint16_t handler = 0;   // destination handler id
+  std::uint32_t msg_bytes = 0; // total message payload length
+  std::uint16_t pkt_index = 0; // packet index within the message
+  std::uint16_t credits = 0;   // piggybacked credit return
+  std::uint32_t msg_seq = 0;   // per (src,dst) message sequence
+};
+static_assert(sizeof(PacketHeader) == 16);
+static_assert(std::is_trivially_copyable_v<PacketHeader>);
+
+inline PacketHeader parse_header(ByteSpan bytes) {
+  assert(bytes.size() >= sizeof(PacketHeader));
+  PacketHeader h;
+  std::memcpy(&h, bytes.data(), sizeof(h));
+  return h;
+}
+
+inline void store_header(MutByteSpan bytes, const PacketHeader& h) {
+  assert(bytes.size() >= sizeof(PacketHeader));
+  std::memcpy(bytes.data(), &h, sizeof(h));
+}
+
+}  // namespace fmx::wire

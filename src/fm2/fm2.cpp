@@ -1,0 +1,482 @@
+#include "fm2/fm2.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace fmx::fm2 {
+
+using sim::Cost;
+
+namespace {
+
+constexpr std::size_t kHdr = sizeof(PacketHeader);
+constexpr sim::Ps kHeaderBuildCost = sim::ns(150);
+constexpr sim::Ps kHeaderParseCost = sim::ns(100);
+constexpr sim::Ps kCreditOpCost = sim::ns(100);
+constexpr sim::Ps kResumeCost = sim::ns(100);
+constexpr sim::Ps kSkipPerPacketCost = sim::ns(50);
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RecvStream
+
+bool RecvStream::Awaiter::await_ready() {
+  if (s.req_.has_value()) {
+    throw std::logic_error("FM2: nested FM_receive on one stream");
+  }
+  if (want > s.remaining()) {
+    throw std::logic_error("FM2: FM_receive beyond end of message");
+  }
+  s.req_ = Request{dst, want, 0};
+  return s.try_fulfill();
+}
+
+void RecvStream::Awaiter::await_suspend(std::coroutine_handle<> h) {
+  s.waiting_ = h;
+}
+
+void RecvStream::Awaiter::await_resume() { s.req_.reset(); }
+
+void RecvStream::feed(net::RxPacket pkt) {
+  std::size_t data = pkt.payload.size() - kHdr;
+  fed_ += data;
+  if (data == 0) {
+    ep_->slot_freed(src_);  // header-only packet: slot free immediately
+    return;
+  }
+  queued_ += data;
+  q_.push_back(std::move(pkt));
+}
+
+bool RecvStream::try_fulfill() {
+  if (!req_.has_value()) return false;
+  Request& r = *req_;
+  auto& host = ep_->host();
+  while (r.got < r.want && !q_.empty()) {
+    net::RxPacket& front = q_.front();
+    if (head_off_ == 0) head_off_ = kHdr;
+    std::size_t avail = front.payload.size() - head_off_;
+    std::size_t take = std::min(avail, r.want - r.got);
+    if (r.dst != nullptr) {
+      // The single receive-side copy: ring slot -> user buffer.
+      host.copy(MutByteSpan{r.dst + r.got, take},
+                ByteSpan{front.payload}.subspan(head_off_, take));
+    } else {
+      host.charge(Cost::kBufferMgmt, kSkipPerPacketCost);
+    }
+    head_off_ += take;
+    r.got += take;
+    consumed_ += take;
+    queued_ -= take;
+    if (head_off_ == front.payload.size()) {
+      q_.pop_front();
+      head_off_ = 0;
+      ep_->slot_freed(src_);  // packet fully consumed: credit goes home
+    }
+  }
+  return r.got == r.want;
+}
+
+void RecvStream::discard_all_queued() {
+  auto& host = ep_->host();
+  while (!q_.empty()) {
+    net::RxPacket& front = q_.front();
+    if (head_off_ == 0) head_off_ = kHdr;
+    std::size_t avail = front.payload.size() - head_off_;
+    consumed_ += avail;
+    queued_ -= avail;
+    host.charge(Cost::kBufferMgmt, kSkipPerPacketCost);
+    q_.pop_front();
+    head_off_ = 0;
+    ep_->slot_freed(src_);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint: construction and send side
+
+Endpoint::Endpoint(net::Cluster& cluster, int node_id, Config cfg)
+    : cluster_(cluster),
+      node_(cluster.node(node_id)),
+      cfg_(cfg),
+      n_hosts_(cluster.size()) {
+  const auto& nic = node_.nic().params();
+  assert(nic.mtu_payload > kHdr);
+  seg_ = nic.mtu_payload - kHdr;
+  handlers_.resize(256);
+  if (cfg_.credits_per_peer <= 0) {
+    int peers = std::max(1, n_hosts_ - 1);
+    cfg_.credits_per_peer =
+        std::max(2, static_cast<int>(nic.host_ring_slots) / peers);
+  }
+  if (cfg_.credit_return_threshold <= 0) {
+    cfg_.credit_return_threshold = std::max(1, cfg_.credits_per_peer / 2);
+  }
+  credits_.assign(n_hosts_, cfg_.credits_per_peer);
+  freed_.assign(n_hosts_, 0);
+  next_msg_seq_.assign(n_hosts_, 0);
+  src_state_.resize(n_hosts_);
+}
+
+void Endpoint::register_handler(HandlerId id, HandlerFn fn) {
+  handlers_.at(id) = std::move(fn);
+}
+
+std::size_t Endpoint::active_handlers() const {
+  std::size_t n = 0;
+  for (const auto& st : src_state_) {
+    if (st.current && st.current->task.valid() && !st.current->task.done()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::uint16_t Endpoint::take_piggyback(int dest) {
+  int v = std::min(freed_[dest], 0xFFFF);
+  freed_[dest] -= v;
+  return static_cast<std::uint16_t>(v);
+}
+
+sim::Task<SendStream> Endpoint::begin_message(int dest, std::size_t size,
+                                              HandlerId handler) {
+  auto& host = node_.host();
+  // The wire header indexes packets in 16 bits.
+  if ((size + seg_ - 1) / seg_ > 0xFFFF) {
+    throw std::length_error("FM2: message exceeds 65535 packets");
+  }
+  host.charge(Cost::kCall, host.params().call_overhead / 2);
+  SendStream s(dest, handler, static_cast<std::uint32_t>(size),
+               next_msg_seq_[dest]++);
+  s.pkt_.resize(kHdr + std::min(seg_, size));
+  co_await host.sync();
+  co_return s;
+}
+
+sim::Task<void> Endpoint::send_piece(SendStream& s, ByteSpan piece) {
+  if (s.ended_) throw std::logic_error("FM2: send_piece after end_message");
+  if (s.sent_ + piece.size() > s.total_) {
+    throw std::logic_error("FM2: message overflows declared size");
+  }
+  auto& host = node_.host();
+  host.charge(Cost::kCall, host.params().call_overhead / 2);
+  ++stats_.pieces_sent;
+  std::size_t off = 0;
+  while (off < piece.size()) {
+    std::size_t room = seg_ - s.fill_;
+    std::size_t take = std::min(room, piece.size() - off);
+    // The gather copy: user piece -> packet under assembly (pinned memory).
+    host.copy(MutByteSpan{s.pkt_}.subspan(kHdr + s.fill_, take),
+              piece.subspan(off, take));
+    s.fill_ += take;
+    s.sent_ += take;
+    off += take;
+    if (s.fill_ == seg_ && s.sent_ < s.total_) {
+      co_await flush_packet(s, /*last=*/false);
+    }
+  }
+}
+
+sim::Task<void> Endpoint::end_message(SendStream& s) {
+  if (s.ended_) throw std::logic_error("FM2: double end_message");
+  if (s.sent_ != s.total_) {
+    throw std::logic_error("FM2: end_message before declared size composed");
+  }
+  auto& host = node_.host();
+  host.charge(Cost::kCall, host.params().call_overhead / 2);
+  co_await flush_packet(s, /*last=*/true);
+  s.ended_ = true;
+  ++stats_.msgs_sent;
+  stats_.bytes_sent += s.total_;
+}
+
+sim::Task<void> Endpoint::flush_packet(SendStream& s, bool last) {
+  auto& host = node_.host();
+  PacketHeader h;
+  h.type = static_cast<std::uint16_t>(PacketType::kData);
+  h.handler = s.handler_;
+  h.msg_bytes = s.total_;
+  h.pkt_index = s.pkt_index_++;
+  h.credits = take_piggyback(s.dest_);
+  h.msg_seq = s.seq_;
+  s.pkt_.resize(kHdr + s.fill_);
+  wire::store_header(MutByteSpan{s.pkt_}, h);
+  host.charge(Cost::kHeader, kHeaderBuildCost);
+  ++stats_.packets_sent;
+
+  co_await acquire_credit(s.dest_);
+  Bytes out = std::move(s.pkt_);
+  s.fill_ = 0;
+  if (!last) {
+    std::size_t next_payload =
+        std::min(seg_, static_cast<std::size_t>(s.total_) - s.sent_);
+    s.pkt_.assign(kHdr + next_payload, std::byte{0});
+  }
+  if (cfg_.pio_send) {
+    host.note(Cost::kPio, node_.bus().pio_time(out.size()));
+    host.ledger().note_copy(out.size());
+    co_await host.sync();
+    co_await node_.bus().pio(out.size());
+    co_await node_.nic().enqueue(
+        net::SendDescriptor(s.dest_, std::move(out), /*fetch_dma=*/false));
+  } else {
+    co_await host.sync();
+    co_await node_.nic().enqueue(
+        net::SendDescriptor(s.dest_, std::move(out), /*fetch_dma=*/true));
+  }
+}
+
+sim::Task<void> Endpoint::acquire_credit(int dest) {
+  auto& host = node_.host();
+  host.charge(Cost::kFlowCtl, kCreditOpCost);
+  if (credits_[dest] > 0) {
+    --credits_[dest];
+    co_return;
+  }
+  ++stats_.credit_stall_events;
+  for (;;) {
+    // Hunt for credit returns. Data packets are parked *without* releasing
+    // their credits — FM 2.x receiver pacing must not be subverted by a
+    // blocked sender.
+    int drained = 0;
+    while (auto p = node_.nic().host_ring().try_pop()) {
+      ++drained;
+      apply_credits_and_strip(*p);
+      PacketHeader h = wire::parse_header(p->payload);
+      if (static_cast<PacketType>(h.type) == PacketType::kCredit) continue;
+      if (pending_.size() >= cfg_.pending_limit) {
+        throw std::runtime_error("FM2: pending buffer overflow");
+      }
+      pending_.push_back(std::move(*p));
+    }
+    if (drained > 0) node_.nic().host_ring().poke();
+    if (credits_[dest] > 0) {
+      --credits_[dest];
+      co_return;
+    }
+    host.charge(Cost::kFlowCtl, host.params().poll_gap);
+    co_await host.sync();
+    co_await node_.nic().host_ring().wait_nonempty();
+  }
+}
+
+sim::Task<void> Endpoint::maybe_return_credits(int dest) {
+  if (freed_[dest] < cfg_.credit_return_threshold) co_return;
+  std::uint16_t give = take_piggyback(dest);
+  if (give == 0) co_return;
+  ++stats_.credit_packets_sent;
+  PacketHeader h;
+  h.type = static_cast<std::uint16_t>(PacketType::kCredit);
+  h.credits = give;
+  Bytes pkt(kHdr);
+  wire::store_header(MutByteSpan{pkt}, h);
+  auto& host = node_.host();
+  host.charge(Cost::kFlowCtl, kHeaderBuildCost);
+  co_await host.sync();
+  co_await node_.nic().enqueue(
+      net::SendDescriptor(dest, std::move(pkt), !cfg_.pio_send));
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint: receive side
+
+void Endpoint::apply_credits_and_strip(net::RxPacket& pkt) {
+  PacketHeader h = wire::parse_header(pkt.payload);
+  if (h.credits > 0) {
+    node_.host().charge(Cost::kFlowCtl, kCreditOpCost);
+    credits_[pkt.src] += h.credits;
+    h.credits = 0;
+    wire::store_header(MutByteSpan{pkt.payload}, h);
+  }
+}
+
+void Endpoint::start_message(SrcState& st, int src, const PacketHeader& h) {
+  if (h.pkt_index != 0) {
+    throw std::runtime_error("FM2: message began mid-stream (order breach)");
+  }
+  st.current = std::make_unique<MsgContext>(this, src, h.msg_bytes, h.msg_seq,
+                                            h.handler);
+  auto& fn = handlers_.at(h.handler);
+  if (!fn) {
+    // No handler registered: consume-and-drop semantics.
+    st.current->skip_rest = true;
+    return;
+  }
+  if (!cfg_.whole_message_handlers) {
+    node_.host().charge(Cost::kDispatch,
+                        node_.host().params().handler_dispatch);
+    st.current->task = fn(st.current->stream, src);
+    ++stats_.handler_starts;
+    st.current->task.resume();  // runs until first unfulfillable receive
+  }
+}
+
+void Endpoint::pump(SrcState& st, int src, int* completed) {
+  while (st.current) {
+    MsgContext& ctx = *st.current;
+    RecvStream& sstr = ctx.stream;
+
+    // Whole-message ablation: start the handler only once fully arrived.
+    if (!ctx.task.valid() && !ctx.skip_rest) {
+      if (sstr.fed_ < sstr.msg_bytes_) return;
+      auto& fn = handlers_.at(ctx.handler_id);
+      node_.host().charge(Cost::kDispatch,
+                          node_.host().params().handler_dispatch);
+      ctx.task = fn(sstr, src);
+      ++stats_.handler_starts;
+      ctx.task.resume();
+    }
+
+    // Resume the handler while its pending request can be satisfied.
+    while (ctx.task.valid() && !ctx.task.done() && sstr.waiting_ &&
+           sstr.try_fulfill()) {
+      auto h = sstr.waiting_;
+      sstr.waiting_ = {};
+      node_.host().charge(Cost::kDispatch, kResumeCost);
+      ++stats_.handler_resumes;
+      h.resume();
+    }
+
+    if (ctx.task.valid() && ctx.task.done()) {
+      if (auto err = ctx.task.error()) std::rethrow_exception(err);
+      if (sstr.remaining() > 0) ctx.skip_rest = true;
+    }
+    if (ctx.skip_rest) sstr.discard_all_queued();
+
+    bool handler_finished =
+        (!ctx.task.valid() && ctx.skip_rest) ||
+        (ctx.task.valid() && ctx.task.done());
+    bool all_consumed = sstr.consumed_ == sstr.msg_bytes_ &&
+                        sstr.fed_ == sstr.msg_bytes_;
+    if (!(handler_finished && all_consumed)) return;
+
+    // Retire the message, then pull any backlogged packets forward.
+    ++*completed;
+    ++stats_.msgs_received;
+    stats_.bytes_received += sstr.msg_bytes_;
+    st.current.reset();
+    while (!st.backlog.empty() && !st.current) {
+      net::RxPacket pkt = std::move(st.backlog.front());
+      st.backlog.pop_front();
+      PacketHeader h = wire::parse_header(pkt.payload);
+      start_message(st, src, h);
+      st.current->stream.feed(std::move(pkt));
+    }
+    if (st.current) {
+      // Feed the rest of the backlog that belongs to this message.
+      while (!st.backlog.empty()) {
+        PacketHeader h = wire::parse_header(st.backlog.front().payload);
+        if (h.msg_seq != st.current->stream.seq_) break;
+        st.current->stream.feed(std::move(st.backlog.front()));
+        st.backlog.pop_front();
+      }
+      continue;  // pump the new message
+    }
+    return;
+  }
+}
+
+void Endpoint::ingest(net::RxPacket&& pkt, int* completed) {
+  auto& host = node_.host();
+  host.charge(Cost::kHeader, kHeaderParseCost);
+  apply_credits_and_strip(pkt);
+  PacketHeader h = wire::parse_header(pkt.payload);
+  if (static_cast<PacketType>(h.type) == PacketType::kCredit) return;
+
+  int src = pkt.src;
+  SrcState& st = src_state_[src];
+  if (!st.current) {
+    start_message(st, src, h);
+    st.current->stream.feed(std::move(pkt));
+  } else if (h.msg_seq == st.current->stream.seq_) {
+    st.current->stream.feed(std::move(pkt));
+  } else {
+    st.backlog.push_back(std::move(pkt));
+    return;  // future message; nothing to pump yet
+  }
+  pump(st, src, completed);
+}
+
+sim::Task<int> Endpoint::extract(std::size_t budget) {
+  auto& host = node_.host();
+  host.charge(Cost::kCall, host.params().poll_gap);
+  int completed = 0;
+
+  // In whole-message ablation mode, handler starts are deferred; a started
+  // message may also be waiting for backlogged packets.
+  auto charge_budget = [&](std::size_t data_bytes) {
+    budget = data_bytes >= budget ? 0 : budget - data_bytes;
+  };
+
+  int processed = 0;
+  while (!pending_.empty() && budget > 0) {
+    net::RxPacket pkt = std::move(pending_.front());
+    pending_.pop_front();
+    charge_budget(pkt.payload.size() - kHdr);
+    ingest(std::move(pkt), &completed);
+    ++processed;
+  }
+  while (budget > 0) {
+    auto p = node_.nic().host_ring().try_pop();
+    if (!p) break;
+    charge_budget(p->payload.size() - kHdr);
+    ingest(std::move(*p), &completed);
+    ++processed;
+  }
+  // Our extraction may have satisfied another poller's condition (several
+  // libraries can poll one endpoint): let sleepers re-check.
+  if (processed > 0) node_.nic().host_ring().poke();
+
+  co_await host.sync();
+  for (int peer = 0; peer < n_hosts_; ++peer) {
+    co_await maybe_return_credits(peer);
+  }
+  while (!deferred_.empty()) {
+    auto op = std::move(deferred_.front());
+    deferred_.pop_front();
+    co_await op();
+  }
+  co_return completed;
+}
+
+// ---------------------------------------------------------------------------
+// Convenience
+
+sim::Task<void> Endpoint::send(int dest, HandlerId handler, ByteSpan data) {
+  SendStream s = co_await begin_message(dest, data.size(), handler);
+  co_await send_piece(s, data);
+  co_await end_message(s);
+}
+
+sim::Task<void> Endpoint::send_gather(int dest, HandlerId handler,
+                                      std::span<const ByteSpan> pieces) {
+  std::size_t total = 0;
+  for (const auto& p : pieces) total += p.size();
+  SendStream s = co_await begin_message(dest, total, handler);
+  for (const auto& p : pieces) co_await send_piece(s, p);
+  co_await end_message(s);
+}
+
+sim::Task<void> Endpoint::wait_for_traffic() {
+  if (node_.nic().host_ring().empty() && pending_.empty()) {
+    co_await node_.nic().host_ring().wait_nonempty();
+  }
+}
+
+sim::Task<void> Endpoint::poll_until(const std::function<bool()>& done) {
+  auto& host = node_.host();
+  while (!done()) {
+    (void)co_await extract();
+    if (done()) break;
+    host.charge(Cost::kCall, host.params().poll_gap);
+    co_await host.sync();
+    if (node_.nic().host_ring().empty() && pending_.empty()) {
+      co_await node_.nic().host_ring().wait_nonempty();
+    }
+  }
+}
+
+}  // namespace fmx::fm2

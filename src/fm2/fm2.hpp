@@ -1,0 +1,309 @@
+// Fast Messages 2.x (paper §4, Table 2) — the paper's primary contribution.
+//
+// The stream abstraction replaces FM 1.x's contiguous buffers:
+//   * Gather on send:   FM_begin_message / FM_send_piece / FM_end_message
+//     compose a message from arbitrary pieces; FM packetizes transparently.
+//   * Scatter on receive: handlers call FM_receive repeatedly to pull
+//     arbitrary-sized chunks — e.g. header first, then payload directly
+//     into the right destination buffer (layer interleaving: the upper
+//     layer's knowledge steers FM's data movement, eliminating staging).
+//   * Receiver flow control: FM_extract(bytes) bounds how much data is
+//     presented; unextracted packets withhold credits, pacing senders.
+//   * Transparent handler multithreading: a handler starts when the FIRST
+//     packet of its message arrives and is a logical thread per message —
+//     here literally a C++20 coroutine suspended inside FM_receive until
+//     the next packet is extracted.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "common/fmwire.hpp"
+#include "myrinet/node.hpp"
+#include "sim/sync.hpp"
+
+namespace fmx::fm2 {
+
+using HandlerId = std::uint16_t;
+using PacketHeader = wire::PacketHeader;
+using PacketType = wire::PacketType;
+
+class Endpoint;
+class RecvStream;
+
+/// Handler coroutine. Runs logically inside FM_extract; may co_await only
+/// RecvStream::receive/skip. One instance per incoming message.
+class [[nodiscard]] HandlerTask {
+ public:
+  struct promise_type {
+    HandlerTask get_return_object() {
+      return HandlerTask{
+          std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() { error = std::current_exception(); }
+    std::exception_ptr error{};
+  };
+
+  HandlerTask() noexcept = default;
+  HandlerTask(HandlerTask&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  HandlerTask& operator=(HandlerTask&& o) noexcept {
+    if (this != &o) {
+      if (h_) h_.destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  ~HandlerTask() {
+    if (h_) h_.destroy();
+  }
+
+  bool valid() const noexcept { return static_cast<bool>(h_); }
+  bool done() const noexcept { return h_.done(); }
+  void resume() { h_.resume(); }
+  std::exception_ptr error() const noexcept { return h_.promise().error; }
+
+ private:
+  explicit HandlerTask(std::coroutine_handle<promise_type> h) noexcept
+      : h_(h) {}
+  std::coroutine_handle<promise_type> h_{};
+};
+
+using HandlerFn = std::function<HandlerTask(RecvStream&, int src)>;
+
+/// Receive-side view of one in-flight message.
+class RecvStream {
+ public:
+  RecvStream(Endpoint* ep, int src, std::uint32_t msg_bytes,
+             std::uint32_t seq)
+      : ep_(ep), src_(src), msg_bytes_(msg_bytes), seq_(seq) {}
+  RecvStream(const RecvStream&) = delete;
+  RecvStream& operator=(const RecvStream&) = delete;
+
+  /// Table 2: FM_receive(stream, buf, bytes). Awaitable inside a handler;
+  /// suspends the handler until all requested bytes have been extracted.
+  auto receive(MutByteSpan dst) { return Awaiter{*this, dst.data(),
+                                                 dst.size()}; }
+  auto receive(void* dst, std::size_t n) {
+    return Awaiter{*this, static_cast<std::byte*>(dst), n};
+  }
+  /// Discard `n` bytes of the message (scatter's "don't care" case).
+  auto skip(std::size_t n) { return Awaiter{*this, nullptr, n}; }
+
+  int src() const noexcept { return src_; }
+  /// Total message length (from the message header).
+  std::size_t msg_bytes() const noexcept { return msg_bytes_; }
+  /// Bytes not yet consumed by the handler.
+  std::size_t remaining() const noexcept { return msg_bytes_ - consumed_; }
+  /// Bytes queued and immediately consumable without suspending.
+  std::size_t available() const noexcept { return queued_; }
+
+ private:
+  friend class Endpoint;
+
+  struct Awaiter {
+    RecvStream& s;
+    std::byte* dst;
+    std::size_t want;
+    bool await_ready();
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume();
+  };
+  struct Request {
+    std::byte* dst;
+    std::size_t want;
+    std::size_t got;
+  };
+
+  void feed(net::RxPacket pkt);     // append packet data (header stripped)
+  bool try_fulfill();               // move bytes into the open request
+  void discard_all_queued();        // skip-mode drain
+
+  Endpoint* ep_;
+  int src_;
+  std::uint32_t msg_bytes_;
+  std::uint32_t seq_;
+  std::size_t consumed_ = 0;  // handler-consumed + skipped bytes
+  std::size_t fed_ = 0;       // message bytes that have been fed
+  std::size_t queued_ = 0;    // fed - consumed (bytes sitting in q_)
+  std::deque<net::RxPacket> q_;
+  std::size_t head_off_ = 0;  // consumed offset within q_.front() payload
+  std::optional<Request> req_;
+  std::coroutine_handle<> waiting_{};
+};
+
+/// Send-side stream: a message under composition.
+class SendStream {
+ public:
+  SendStream() = default;
+  int dest() const noexcept { return dest_; }
+  std::size_t declared_bytes() const noexcept { return total_; }
+  std::size_t composed_bytes() const noexcept { return sent_; }
+
+ private:
+  friend class Endpoint;
+  SendStream(int dest, HandlerId handler, std::uint32_t total,
+             std::uint32_t seq)
+      : dest_(dest), handler_(handler), total_(total), seq_(seq) {}
+
+  int dest_ = -1;
+  HandlerId handler_ = 0;
+  std::uint32_t total_ = 0;
+  std::uint32_t seq_ = 0;
+  std::size_t sent_ = 0;       // payload bytes composed so far
+  Bytes pkt_;                  // packet under assembly (incl. header space)
+  std::size_t fill_ = 0;       // payload bytes in pkt_
+  std::uint16_t pkt_index_ = 0;
+  bool ended_ = false;
+};
+
+struct Config {
+  int credits_per_peer = 0;          // 0 = ring slots / peers
+  int credit_return_threshold = 0;   // 0 = half of credits_per_peer
+  /// FM 2.x sends via NIC DMA from pinned host buffers; PIO is an ablation.
+  bool pio_send = false;
+  std::size_t pending_limit = 4096;
+  /// Ablation: deliver whole messages only (disable handler interleaving —
+  /// the handler starts only after the last packet arrived, as in FM 1.x).
+  bool whole_message_handlers = false;
+};
+
+class Endpoint {
+ public:
+  Endpoint(net::Cluster& cluster, int node_id, Config cfg = {});
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  // --- Table 2 API -------------------------------------------------------
+  /// FM_begin_message(dest, size, handler): start composing a message of
+  /// exactly `size` payload bytes.
+  sim::Task<SendStream> begin_message(int dest, std::size_t size,
+                                      HandlerId handler);
+  /// FM_send_piece(stream, buf, bytes): append a piece (gather).
+  sim::Task<void> send_piece(SendStream& s, ByteSpan piece);
+  /// FM_end_message(stream): flush and finish the message.
+  sim::Task<void> end_message(SendStream& s);
+  /// FM_extract(bytes): process up to `budget` bytes of received data
+  /// (rounded up to a packet boundary). Returns messages completed.
+  sim::Task<int> extract(std::size_t budget = kNoLimit);
+
+  static constexpr std::size_t kNoLimit = ~std::size_t{0};
+
+  // --- Convenience -------------------------------------------------------
+  /// begin + one piece + end.
+  sim::Task<void> send(int dest, HandlerId handler, ByteSpan data);
+  /// Gather convenience: one message from several pieces.
+  sim::Task<void> send_gather(int dest, HandlerId handler,
+                              std::span<const ByteSpan> pieces);
+  /// Poll extract() until `done` returns true.
+  sim::Task<void> poll_until(const std::function<bool()>& done);
+  /// Sleep until there is something to extract (unless data is already
+  /// waiting in the ring or parked host-side).
+  sim::Task<void> wait_for_traffic();
+  /// Wake a sleeping poll_until so it re-checks its condition — the local
+  /// termination nudge for conditions that flip without network traffic.
+  void kick() { node_.nic().host_ring().poke(); }
+
+  void register_handler(HandlerId id, HandlerFn fn);
+
+  /// Queue work to run (in host context, may send) after the current
+  /// extract's packet loop — the escape hatch for handlers that need to
+  /// reply, since handlers themselves may only receive.
+  void defer(std::function<sim::Task<void>()> op) {
+    deferred_.push_back(std::move(op));
+  }
+
+  int id() const noexcept { return node_.id(); }
+  int cluster_size() const noexcept { return n_hosts_; }
+  net::Host& host() noexcept { return node_.host(); }
+  std::size_t max_payload_per_packet() const noexcept { return seg_; }
+
+  struct Stats {
+    std::uint64_t msgs_sent = 0;
+    std::uint64_t msgs_received = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+    std::uint64_t packets_sent = 0;
+    std::uint64_t pieces_sent = 0;
+    std::uint64_t handler_starts = 0;
+    std::uint64_t handler_resumes = 0;
+    std::uint64_t credit_stall_events = 0;
+    std::uint64_t credit_packets_sent = 0;
+  };
+  const Stats& stats() const noexcept { return stats_; }
+  int credits_available(int peer) const { return credits_[peer]; }
+  /// Messages whose handlers are currently suspended mid-receive.
+  std::size_t active_handlers() const;
+
+ private:
+  friend class RecvStream;
+
+  struct MsgContext {
+    MsgContext(Endpoint* ep, int src, std::uint32_t bytes, std::uint32_t seq,
+               HandlerId handler)
+        : stream(ep, src, bytes, seq), handler_id(handler) {}
+    RecvStream stream;
+    HandlerTask task;
+    HandlerId handler_id;
+    bool skip_rest = false;  // handler returned early; drop remaining bytes
+  };
+  struct SrcState {
+    std::unique_ptr<MsgContext> current;
+    std::deque<net::RxPacket> backlog;  // packets of subsequent messages
+  };
+
+  sim::Task<void> flush_packet(SendStream& s, bool last);
+  sim::Task<void> acquire_credit(int dest);
+  std::uint16_t take_piggyback(int dest);
+  void slot_freed(int src) { ++freed_[src]; }
+  sim::Task<void> maybe_return_credits(int dest);
+
+  /// Route one data packet into its source's stream machinery.
+  void ingest(net::RxPacket&& pkt, int* completed);
+  void start_message(SrcState& st, int src, const PacketHeader& h);
+  void pump(SrcState& st, int src, int* completed);
+  void apply_credits_and_strip(net::RxPacket& pkt);
+
+  net::Cluster& cluster_;
+  net::Node& node_;
+  Config cfg_;
+  int n_hosts_;
+  std::size_t seg_;
+  std::vector<HandlerFn> handlers_;
+  std::vector<int> credits_;
+  std::vector<int> freed_;
+  std::vector<std::uint32_t> next_msg_seq_;
+  std::vector<SrcState> src_state_;
+  std::deque<net::RxPacket> pending_;  // parked while hunting for credits
+  std::deque<std::function<sim::Task<void>()>> deferred_;
+  Stats stats_;
+};
+
+// ---------------------------------------------------------------------------
+// Table 2 free-function spelling (explicit endpoint, as in fm1).
+inline sim::Task<SendStream> FM_begin_message(Endpoint& ep, int dest,
+                                              std::size_t size,
+                                              HandlerId handler) {
+  return ep.begin_message(dest, size, handler);
+}
+inline sim::Task<void> FM_send_piece(Endpoint& ep, SendStream& s,
+                                     ByteSpan buf) {
+  return ep.send_piece(s, buf);
+}
+inline sim::Task<void> FM_end_message(Endpoint& ep, SendStream& s) {
+  return ep.end_message(s);
+}
+inline sim::Task<int> FM_extract(Endpoint& ep,
+                                 std::size_t bytes = Endpoint::kNoLimit) {
+  return ep.extract(bytes);
+}
+
+}  // namespace fmx::fm2

@@ -1,0 +1,96 @@
+#include "ga/global_array.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fmx::ga {
+
+GlobalArray::GlobalArray(shmem::ShmemCtx& ctx, std::size_t rows,
+                         std::size_t cols, std::size_t heap_off)
+    : ctx_(ctx), rows_(rows), cols_(cols), heap_off_(heap_off) {
+  std::size_t n = static_cast<std::size_t>(ctx.n_pes());
+  rows_per_pe_ = (rows + n - 1) / n;
+  std::size_t local_bytes = rows_per_pe_ * cols_ * sizeof(double);
+  if (heap_off_ + local_bytes > ctx_.heap().size()) {
+    throw std::out_of_range("ga: array does not fit in symmetric heap");
+  }
+}
+
+std::size_t GlobalArray::row_begin(int pe) const {
+  return std::min(rows_, static_cast<std::size_t>(pe) * rows_per_pe_);
+}
+std::size_t GlobalArray::row_end(int pe) const {
+  return std::min(rows_, row_begin(pe) + rows_per_pe_);
+}
+int GlobalArray::owner_of(std::size_t row) const {
+  return static_cast<int>(row / rows_per_pe_);
+}
+
+std::size_t GlobalArray::heap_off_of(std::size_t row) const {
+  std::size_t local_row = row % rows_per_pe_;
+  return heap_off_ + local_row * cols_ * sizeof(double);
+}
+
+std::span<double> GlobalArray::local_rows() {
+  auto* base =
+      reinterpret_cast<double*>(ctx_.heap().data() + heap_off_);
+  std::size_t nrows = row_end(ctx_.pe()) - row_begin(ctx_.pe());
+  return {base, nrows * cols_};
+}
+
+sim::Task<void> GlobalArray::put_rows(std::size_t row0, std::size_t nrows,
+                                      std::span<const double> data) {
+  if (data.size() != nrows * cols_) {
+    throw std::invalid_argument("ga: patch size mismatch");
+  }
+  std::size_t r = row0;
+  std::size_t off = 0;
+  while (r < row0 + nrows) {
+    int pe = owner_of(r);
+    std::size_t take = std::min(row_end(pe), row0 + nrows) - r;
+    ByteSpan bytes{
+        reinterpret_cast<const std::byte*>(data.data() + off * cols_),
+        take * cols_ * sizeof(double)};
+    co_await ctx_.put(pe, heap_off_of(r), bytes);
+    r += take;
+    off += take;
+  }
+}
+
+sim::Task<void> GlobalArray::get_rows(std::size_t row0, std::size_t nrows,
+                                      std::span<double> out) {
+  if (out.size() != nrows * cols_) {
+    throw std::invalid_argument("ga: patch size mismatch");
+  }
+  std::size_t r = row0;
+  std::size_t off = 0;
+  while (r < row0 + nrows) {
+    int pe = owner_of(r);
+    std::size_t take = std::min(row_end(pe), row0 + nrows) - r;
+    MutByteSpan bytes{
+        reinterpret_cast<std::byte*>(out.data() + off * cols_),
+        take * cols_ * sizeof(double)};
+    co_await ctx_.get(pe, heap_off_of(r), bytes);
+    r += take;
+    off += take;
+  }
+}
+
+sim::Task<void> GlobalArray::acc_rows(std::size_t row0, std::size_t nrows,
+                                      std::span<const double> data) {
+  if (data.size() != nrows * cols_) {
+    throw std::invalid_argument("ga: patch size mismatch");
+  }
+  std::size_t r = row0;
+  std::size_t off = 0;
+  while (r < row0 + nrows) {
+    int pe = owner_of(r);
+    std::size_t take = std::min(row_end(pe), row0 + nrows) - r;
+    co_await ctx_.accumulate(pe, heap_off_of(r),
+                             data.subspan(off * cols_, take * cols_));
+    r += take;
+    off += take;
+  }
+}
+
+}  // namespace fmx::ga

@@ -1,0 +1,123 @@
+// MPI message matching: posted-receive queue and unexpected-message queue
+// with (source, tag) matching, wildcards, and MPI's FIFO ordering rules.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "common/buffer.hpp"
+
+namespace fmx::mpi {
+
+constexpr int kAnySource = -1;
+constexpr int kAnyTag = -1;
+
+struct Status {
+  int source = -1;
+  int tag = -1;
+  std::size_t count = 0;
+};
+
+/// Shared completion state behind a Request handle.
+struct RequestState {
+  bool done = false;
+  Status status;
+};
+
+class Request {
+ public:
+  Request() = default;
+  explicit Request(std::shared_ptr<RequestState> st) : st_(std::move(st)) {}
+  bool valid() const noexcept { return st_ != nullptr; }
+  bool done() const noexcept { return st_ && st_->done; }
+  const Status& status() const { return st_->status; }
+  RequestState* state() noexcept { return st_.get(); }
+
+ private:
+  std::shared_ptr<RequestState> st_;
+};
+
+struct PostedRecv {
+  PostedRecv() = default;
+  PostedRecv(std::byte* buf_, std::size_t cap_, int src_, int tag_,
+             std::shared_ptr<RequestState> req_)
+      : buf(buf_), cap(cap_), src(src_), tag(tag_), req(std::move(req_)) {}
+
+  std::byte* buf = nullptr;
+  std::size_t cap = 0;
+  int src = kAnySource;
+  int tag = kAnyTag;
+  std::shared_ptr<RequestState> req;
+};
+
+struct UnexpectedMsg {
+  UnexpectedMsg() = default;
+  UnexpectedMsg(int src_, int tag_, Bytes data_)
+      : src(src_), tag(tag_), data(std::move(data_)) {}
+
+  int src = -1;
+  int tag = -1;
+  Bytes data;
+};
+
+inline bool matches(int want_src, int want_tag, int src, int tag) {
+  return (want_src == kAnySource || want_src == src) &&
+         (want_tag == kAnyTag || want_tag == tag);
+}
+
+/// The two queues. Purely local bookkeeping — the caller charges the host
+/// cost model for each operation (Cost::kMatch).
+class Matcher {
+ public:
+  /// A receive is being posted: consume a matching unexpected message if one
+  /// is already queued (FIFO), else append to the posted queue.
+  std::optional<UnexpectedMsg> post(PostedRecv pr) {
+    for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+      if (matches(pr.src, pr.tag, it->src, it->tag)) {
+        UnexpectedMsg m = std::move(*it);
+        unexpected_.erase(it);
+        return m;
+      }
+    }
+    posted_.push_back(std::move(pr));
+    return std::nullopt;
+  }
+
+  /// A message (src, tag) has arrived: claim the first matching posted
+  /// receive, if any.
+  std::optional<PostedRecv> claim_posted(int src, int tag) {
+    for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+      if (matches(it->src, it->tag, src, tag)) {
+        PostedRecv pr = std::move(*it);
+        posted_.erase(it);
+        return pr;
+      }
+    }
+    return std::nullopt;
+  }
+
+  void add_unexpected(UnexpectedMsg m) {
+    unexpected_.push_back(std::move(m));
+  }
+
+  /// First matching unexpected message, if any (probe support).
+  const UnexpectedMsg* peek_unexpected(int src, int tag) const {
+    for (const auto& u : unexpected_) {
+      if (matches(src, tag, u.src, u.tag)) return &u;
+    }
+    return nullptr;
+  }
+
+  std::size_t posted_count() const noexcept { return posted_.size(); }
+  std::size_t unexpected_count() const noexcept {
+    return unexpected_.size();
+  }
+
+ private:
+  std::deque<PostedRecv> posted_;
+  std::deque<UnexpectedMsg> unexpected_;
+};
+
+}  // namespace fmx::mpi

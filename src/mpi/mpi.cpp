@@ -1,0 +1,217 @@
+#include "mpi/mpi.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace fmx::mpi {
+
+sim::Task<Request> Comm::isend(ByteSpan data, int dst, int tag) {
+  // Eager protocol: the send buffer is consumed before do_send returns, so
+  // the request is born complete.
+  co_await do_send(data, dst, tag);
+  auto st = std::make_shared<RequestState>();
+  st->done = true;
+  st->status.source = rank();
+  st->status.tag = tag;
+  st->status.count = data.size();
+  co_return Request(st);
+}
+
+sim::Task<void> Comm::recv(MutByteSpan buf, int src, int tag,
+                           Status* status) {
+  Request req = co_await do_post_recv(buf, src, tag);
+  co_await wait(req, status);
+}
+
+sim::Task<void> Comm::wait(Request req, Status* status) {
+  if (!req.valid()) throw std::logic_error("MPI: wait on null request");
+  RequestState* st = req.state();
+  co_await progress_until([st] { return st->done; });
+  if (status) *status = st->status;
+}
+
+sim::Task<bool> Comm::test(Request req) {
+  if (!req.valid()) throw std::logic_error("MPI: test on null request");
+  if (req.done()) co_return true;
+  co_await progress_once();
+  co_return req.done();
+}
+
+sim::Task<void> Comm::waitall(std::span<Request> reqs) {
+  co_await progress_until([&reqs] {
+    for (const auto& r : reqs) {
+      if (!r.done()) return false;
+    }
+    return true;
+  });
+}
+
+sim::Task<bool> Comm::iprobe(int src, int tag, Status* status) {
+  co_await progress_once();
+  auto st = peek_unexpected(src, tag);
+  if (st && status) *status = *st;
+  co_return st.has_value();
+}
+
+sim::Task<void> Comm::probe(int src, int tag, Status* status) {
+  co_await progress_until(
+      [this, src, tag] { return peek_unexpected(src, tag).has_value(); });
+  if (status) *status = *peek_unexpected(src, tag);
+}
+
+sim::Task<void> Comm::sendrecv(ByteSpan senddata, int dst, int sendtag,
+                               MutByteSpan recvbuf, int src, int recvtag,
+                               Status* status) {
+  Request r = co_await do_post_recv(recvbuf, src, recvtag);
+  co_await do_send(senddata, dst, sendtag);
+  co_await wait(r, status);
+}
+
+// ---------------------------------------------------------------------------
+// Collectives (binomial/dissemination over point-to-point, standard tags).
+
+sim::Task<void> Comm::barrier() {
+  const int n = size();
+  if (n == 1) co_return;
+  const int me = rank();
+  // Dissemination barrier: log2(n) rounds of sendrecv with hop 2^k.
+  std::byte token{0};
+  for (int k = 0, hop = 1; hop < n; ++k, hop <<= 1) {
+    int to = (me + hop) % n;
+    int from = (me - hop + n) % n;
+    std::byte got;
+    co_await sendrecv(ByteSpan{&token, 1}, to, kCollectiveTagBase + k,
+                      MutByteSpan{&got, 1}, from, kCollectiveTagBase + k);
+  }
+}
+
+sim::Task<void> Comm::bcast(MutByteSpan buf, int root) {
+  const int n = size();
+  if (n == 1) co_return;
+  const int me = rank();
+  const int r = (me - root + n) % n;  // rank relative to root
+  const int tag = kCollectiveTagBase + 32;
+  // Find the highest bit of r: that's the parent edge.
+  int recv_mask = 0;
+  for (int mask = 1; mask < n; mask <<= 1) {
+    if (r & mask) recv_mask = mask;
+  }
+  if (r != 0) {
+    int parent = ((r - recv_mask) + root) % n;
+    co_await recv(buf, parent, tag);
+  }
+  // Forward to children: bits above our highest set bit.
+  for (int mask = (r == 0 ? 1 : recv_mask << 1); mask < n; mask <<= 1) {
+    if (r + mask < n) {
+      int child = (r + mask + root) % n;
+      co_await send(ByteSpan{buf.data(), buf.size()}, child, tag);
+    }
+  }
+}
+
+sim::Task<void> Comm::reduce_sum(std::span<double> data, int root) {
+  const int n = size();
+  if (n == 1) co_return;
+  const int me = rank();
+  const int r = (me - root + n) % n;
+  const int tag = kCollectiveTagBase + 64;
+  Bytes tmp(data.size_bytes());
+  for (int mask = 1; mask < n; mask <<= 1) {
+    if (r & mask) {
+      int parent = ((r - mask) + root) % n;
+      co_await send(ByteSpan{reinterpret_cast<const std::byte*>(data.data()),
+                             data.size_bytes()},
+                    parent, tag);
+      co_return;
+    }
+    if (r + mask < n) {
+      int child = (r + mask + root) % n;
+      co_await recv(MutByteSpan{tmp}, child, tag);
+      const double* in = reinterpret_cast<const double*>(tmp.data());
+      for (std::size_t i = 0; i < data.size(); ++i) data[i] += in[i];
+    }
+  }
+}
+
+sim::Task<void> Comm::allreduce_sum(std::span<double> data) {
+  co_await reduce_sum(data, 0);
+  co_await bcast(MutByteSpan{reinterpret_cast<std::byte*>(data.data()),
+                             data.size_bytes()},
+                 0);
+}
+
+sim::Task<void> Comm::gather(ByteSpan block, MutByteSpan recvbuf, int root) {
+  const int n = size();
+  const int me = rank();
+  const int tag = kCollectiveTagBase + 96;
+  if (me == root) {
+    assert(recvbuf.size() >= block.size() * static_cast<std::size_t>(n));
+    std::memcpy(recvbuf.data() + me * block.size(), block.data(),
+                block.size());
+    for (int src = 0; src < n; ++src) {
+      if (src == me) continue;
+      co_await recv(recvbuf.subspan(src * block.size(), block.size()), src,
+                    tag);
+    }
+  } else {
+    co_await send(block, root, tag);
+  }
+}
+
+sim::Task<void> Comm::scatter(ByteSpan sendbuf, MutByteSpan block,
+                              int root) {
+  const int n = size();
+  const int me = rank();
+  const int tag = kCollectiveTagBase + 128;
+  const std::size_t bs = block.size();
+  if (me == root) {
+    assert(sendbuf.size() >= bs * static_cast<std::size_t>(n));
+    std::memcpy(block.data(), sendbuf.data() + me * bs, bs);
+    for (int dst = 0; dst < n; ++dst) {
+      if (dst == me) continue;
+      co_await send(sendbuf.subspan(dst * bs, bs), dst, tag);
+    }
+  } else {
+    co_await recv(block, root, tag);
+  }
+}
+
+sim::Task<void> Comm::allgather(ByteSpan block, MutByteSpan recvbuf) {
+  const int n = size();
+  const int me = rank();
+  const int tag = kCollectiveTagBase + 160;
+  const std::size_t bs = block.size();
+  assert(recvbuf.size() >= bs * static_cast<std::size_t>(n));
+  std::memcpy(recvbuf.data() + me * bs, block.data(), bs);
+  // Ring allgather: n-1 steps, each forwarding the block received last.
+  const int right = (me + 1) % n;
+  const int left = (me - 1 + n) % n;
+  int have = me;  // index of the block we forward next
+  for (int step = 0; step < n - 1; ++step) {
+    int incoming = (have - 1 + n) % n;
+    co_await sendrecv(recvbuf.subspan(have * bs, bs), right, tag + step,
+                      recvbuf.subspan(incoming * bs, bs), left, tag + step);
+    have = incoming;
+  }
+}
+
+sim::Task<void> Comm::alltoall(ByteSpan sendbuf, MutByteSpan recvbuf) {
+  const int n = size();
+  const int me = rank();
+  const int tag = kCollectiveTagBase + 224;
+  const std::size_t bs = sendbuf.size() / static_cast<std::size_t>(n);
+  assert(sendbuf.size() == bs * static_cast<std::size_t>(n));
+  assert(recvbuf.size() >= sendbuf.size());
+  std::memcpy(recvbuf.data() + me * bs, sendbuf.data() + me * bs, bs);
+  // Pairwise exchange: step k pairs me with me^k... for non-power-of-two
+  // sizes use the rotation schedule instead.
+  for (int step = 1; step < n; ++step) {
+    int to = (me + step) % n;
+    int from = (me - step + n) % n;
+    co_await sendrecv(sendbuf.subspan(to * bs, bs), to, tag + step,
+                      recvbuf.subspan(from * bs, bs), from, tag + step);
+  }
+}
+
+}  // namespace fmx::mpi

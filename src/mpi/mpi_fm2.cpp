@@ -1,0 +1,315 @@
+#include "mpi/mpi_fm2.hpp"
+
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+namespace fmx::mpi {
+
+using sim::Cost;
+
+namespace {
+// MPICH-layer costs on the 200 MHz Pentium Pro host.
+constexpr sim::Ps kMpiCallCost = sim::ns(400);
+constexpr sim::Ps kMatchCost = sim::ns(500);
+constexpr sim::Ps kUnexpectedAllocCost = sim::ns(1'000);
+constexpr sim::Ps kRequestCost = sim::ns(300);
+// Progress-engine work per continuation packet of a multi-packet message
+// (MPICH ADI request-state walk on each arriving chunk).
+constexpr sim::Ps kAdiChunkCost = sim::ns(2'500);
+
+// MpiHeader.kind values.
+constexpr std::uint16_t kEager = 0;
+constexpr std::uint16_t kRts = 1;
+constexpr std::uint16_t kCts = 2;
+constexpr std::uint16_t kRdzvData = 3;
+
+std::uint64_t rdzv_key(int src, std::uint64_t id) {
+  return (static_cast<std::uint64_t>(src) << 48) ^ id;
+}
+}  // namespace
+
+MpiFm2::MpiFm2(net::Cluster& cluster, int node_id, fm2::Config fm_cfg,
+               MpiFm2Options opt)
+    : owned_(std::make_unique<fm2::Endpoint>(cluster, node_id, fm_cfg)),
+      fm_(*owned_),
+      opt_(opt) {
+  fm_.register_handler(kMpiHandler,
+                       [this](fm2::RecvStream& s, int src) {
+                         return on_message(s, src);
+                       });
+}
+
+MpiFm2::MpiFm2(fm2::Endpoint& shared, MpiFm2Options opt)
+    : fm_(shared), opt_(opt) {
+  fm_.register_handler(kMpiHandler,
+                       [this](fm2::RecvStream& s, int src) {
+                         return on_message(s, src);
+                       });
+}
+
+void MpiFm2::complete(RequestState& st, int src, int tag,
+                      std::size_t count) {
+  st.done = true;
+  st.status.source = src;
+  st.status.tag = tag;
+  st.status.count = count;
+}
+
+sim::Task<void> MpiFm2::do_send(ByteSpan data, int dst, int tag) {
+  auto& host = fm_.host();
+  host.charge(Cost::kCall, kMpiCallCost);
+  ++stats_.sends;
+
+  MpiHeader h;
+  h.tag = tag;
+  h.src_rank = rank();
+  h.bytes = static_cast<std::uint32_t>(data.size());
+  h.seq = send_seq_++;
+  host.charge(Cost::kHeader, sim::ns(200));
+
+  if (data.size() > opt_.eager_threshold) {
+    // Rendezvous: ship only the envelope, wait for the receiver to grant
+    // a buffer, then stream the payload straight into it.
+    const std::uint64_t id = h.seq;
+    rdzv_sends_[id];
+    MpiHeader rts = h;
+    rts.kind = kRts;
+    co_await fm_.send(dst, kMpiHandler, as_bytes_of(rts));
+    co_await progress_until(
+        [this, id] { return rdzv_sends_.at(id).cts; });
+    rdzv_sends_.erase(id);
+    MpiHeader dat = h;
+    dat.kind = kRdzvData;
+    fm2::SendStream s = co_await fm_.begin_message(
+        dst, sizeof(MpiHeader) + data.size(), kMpiHandler);
+    co_await fm_.send_piece(s, as_bytes_of(dat));
+    co_await fm_.send_piece(s, data);
+    co_await fm_.end_message(s);
+    co_return;
+  }
+
+  if (opt_.staged_send) {
+    // Ablation: FM 1.x-style contiguous assembly before handing to FM —
+    // one extra full-message copy on the send path.
+    Bytes staging(sizeof(MpiHeader) + data.size());
+    std::memcpy(staging.data(), &h, sizeof(h));
+    if (!data.empty()) {
+      host.copy(MutByteSpan{staging}.subspan(sizeof(MpiHeader)), data);
+    }
+    co_await fm_.send(dst, kMpiHandler, ByteSpan{staging});
+    co_return;
+  }
+
+  // Gather: header and payload are two pieces of one FM message. FM's
+  // packetizer copies each piece into the outgoing packet; no MPI staging.
+  fm2::SendStream s =
+      co_await fm_.begin_message(dst, sizeof(MpiHeader) + data.size(),
+                                 kMpiHandler);
+  co_await fm_.send_piece(s, as_bytes_of(h));
+  if (!data.empty()) co_await fm_.send_piece(s, data);
+  co_await fm_.end_message(s);
+}
+
+void MpiFm2::grant_rts(int src, std::uint64_t id, int tag,
+                       std::size_t bytes, std::byte* buf,
+                       std::shared_ptr<RequestState> req) {
+  RdzvRecv rec;
+  rec.req = std::move(req);
+  rec.buf = buf;
+  rec.src = src;
+  rec.tag = tag;
+  rec.bytes = bytes;
+  rdzv_recvs_[rdzv_key(src, id)] = std::move(rec);
+}
+
+fm2::HandlerTask MpiFm2::on_message(fm2::RecvStream& s, int /*src*/) {
+  auto& host = fm_.host();
+  MpiHeader h;
+  co_await s.receive(&h, sizeof(h));
+
+  if (h.kind == kRts) {
+    host.charge(Cost::kMatch, kMatchCost);
+    if (auto pr = matcher_.claim_posted(h.src_rank, h.tag)) {
+      if (h.bytes > pr->cap) {
+        throw std::runtime_error(
+            "MPI: message truncation (buffer too small)");
+      }
+      grant_rts(h.src_rank, h.seq, h.tag, h.bytes, pr->buf, pr->req);
+      MpiHeader cts;
+      cts.kind = kCts;
+      cts.seq = h.seq;
+      cts.src_rank = rank();
+      int to = h.src_rank;
+      fm_.defer([this, to, cts]() -> sim::Task<void> {
+        co_await fm_.send(to, kMpiHandler, as_bytes_of(cts));
+      });
+    } else {
+      // Unexpected RTS: queue the 24-byte envelope — no payload staging,
+      // the whole point of rendezvous.
+      auto ua = std::make_shared<UnexpectedArrival>();
+      ua->src = h.src_rank;
+      ua->tag = h.tag;
+      ua->is_rts = true;
+      ua->rts_id = h.seq;
+      ua->rts_bytes = h.bytes;
+      unexpected_.push_back(ua);
+      ++stats_.unexpected;
+    }
+    co_return;
+  }
+  if (h.kind == kCts) {
+    rdzv_sends_.at(h.seq).cts = true;
+    co_return;
+  }
+  if (h.kind == kRdzvData) {
+    auto it = rdzv_recvs_.find(rdzv_key(h.src_rank, h.seq));
+    RdzvRecv rec = std::move(it->second);
+    rdzv_recvs_.erase(it);
+    const std::size_t chunk = fm_.max_payload_per_packet();
+    std::size_t off = 0;
+    while (off < h.bytes) {
+      std::size_t take = std::min<std::size_t>(chunk, h.bytes - off);
+      if (off > 0) host.charge(Cost::kMatch, kAdiChunkCost);
+      co_await s.receive(rec.buf + off, take);
+      off += take;
+    }
+    ++stats_.recvs;
+    complete(*rec.req, rec.src, rec.tag, h.bytes);
+    co_return;
+  }
+
+  // Layer interleaving: with the header in hand, ask MPI where the payload
+  // belongs, then steer it there straight from the stream.
+  host.charge(Cost::kMatch, kMatchCost);
+  host.charge(Cost::kBufferMgmt, kRequestCost);
+  if (auto pr = matcher_.claim_posted(h.src_rank, h.tag)) {
+    if (h.bytes > pr->cap) {
+      throw std::runtime_error("MPI: message truncation (buffer too small)");
+    }
+    // Pull the payload from the stream a packet-chunk at a time; each
+    // continuation chunk passes through the ADI progress engine.
+    const std::size_t chunk = fm_.max_payload_per_packet();
+    std::size_t off = 0;
+    while (off < h.bytes) {
+      std::size_t take = std::min<std::size_t>(chunk, h.bytes - off);
+      if (off > 0) host.charge(Cost::kMatch, kAdiChunkCost);
+      co_await s.receive(pr->buf + off, take);
+      off += take;
+    }
+    ++stats_.posted_hits;
+    ++stats_.recvs;
+    complete(*pr->req, h.src_rank, h.tag, h.bytes);
+  } else {
+    // Truly unexpected: one buffering copy, the unavoidable case. The
+    // envelope is published *before* the payload finishes streaming in, so
+    // a receive posted meanwhile matches this message, not a later one.
+    host.charge(Cost::kBufferMgmt, kUnexpectedAllocCost);
+    auto ua = std::make_shared<UnexpectedArrival>();
+    ua->src = h.src_rank;
+    ua->tag = h.tag;
+    ua->data.resize(h.bytes);
+    unexpected_.push_back(ua);
+    ++stats_.unexpected;
+    if (h.bytes > 0) co_await s.receive(MutByteSpan{ua->data});
+    ua->complete = true;
+    if (ua->claimed) finish_unexpected(ua);
+  }
+}
+
+void MpiFm2::finish_unexpected(
+    const std::shared_ptr<UnexpectedArrival>& ua) {
+  auto& host = fm_.host();
+  if (ua->data.size() > ua->user_cap) {
+    throw std::runtime_error("MPI: message truncation (buffer too small)");
+  }
+  if (!ua->data.empty()) {
+    host.copy(MutByteSpan{ua->user_buf, ua->data.size()},
+              ByteSpan{ua->data});
+  }
+  ++stats_.recvs;
+  complete(*ua->claimed, ua->src, ua->tag, ua->data.size());
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (it->get() == ua.get()) {
+      unexpected_.erase(it);
+      break;
+    }
+  }
+}
+
+sim::Task<Request> MpiFm2::do_post_recv(MutByteSpan buf, int src, int tag) {
+  auto& host = fm_.host();
+  host.charge(Cost::kCall, kMpiCallCost);
+  host.charge(Cost::kMatch, kMatchCost);
+  host.charge(Cost::kBufferMgmt, kRequestCost);
+  auto st = std::make_shared<RequestState>();
+  // Unexpected arrivals (complete, still streaming, or RTS envelopes)
+  // match first, in arrival order.
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    auto ua = *it;
+    if (ua->claimed) continue;  // already paired with an earlier recv
+    if (!matches(src, tag, ua->src, ua->tag)) continue;
+    if (ua->is_rts) {
+      if (ua->rts_bytes > buf.size()) {
+        throw std::runtime_error(
+            "MPI: message truncation (buffer too small)");
+      }
+      grant_rts(ua->src, ua->rts_id, ua->tag, ua->rts_bytes, buf.data(),
+                st);
+      MpiHeader cts;
+      cts.kind = kCts;
+      cts.seq = ua->rts_id;
+      cts.src_rank = rank();
+      int to = ua->src;
+      unexpected_.erase(it);
+      co_await host.sync();
+      co_await fm_.send(to, kMpiHandler, as_bytes_of(cts));
+      co_return Request(st);
+    }
+    ua->claimed = st;
+    ua->user_buf = buf.data();
+    ua->user_cap = buf.size();
+    if (ua->complete) {
+      finish_unexpected(ua);
+    }
+    co_await host.sync();
+    co_return Request(st);
+  }
+  matcher_.post(PostedRecv(buf.data(), buf.size(), src, tag, st));
+  co_await host.sync();
+  co_return Request(st);
+}
+
+sim::Task<void> MpiFm2::progress_until(std::function<bool()> done) {
+  auto& host = fm_.host();
+  std::size_t budget =
+      extract_budget_ == 0 ? fm2::Endpoint::kNoLimit : extract_budget_;
+  while (!done()) {
+    (void)co_await fm_.extract(budget);
+    if (done()) break;
+    host.charge(Cost::kCall, host.params().poll_gap);
+    co_await host.sync();
+    co_await fm_.wait_for_traffic();
+  }
+}
+
+std::optional<Status> MpiFm2::peek_unexpected(int src, int tag) {
+  fm_.host().charge(Cost::kMatch, kMatchCost);
+  for (const auto& ua : unexpected_) {
+    if (ua->claimed) continue;
+    if (!matches(src, tag, ua->src, ua->tag)) continue;
+    // UnexpectedArrival::data is sized to the full message up front, so
+    // its size is the final count even while the payload is streaming in;
+    // RTS entries carry the size in the envelope.
+    return Status{ua->src, ua->tag,
+                  ua->is_rts ? ua->rts_bytes : ua->data.size()};
+  }
+  return std::nullopt;
+}
+
+sim::Task<void> MpiFm2::progress_once() {
+  (void)co_await fm_.extract(extract_budget_ == 0 ? fm2::Endpoint::kNoLimit
+                                                  : extract_budget_);
+}
+
+}  // namespace fmx::mpi

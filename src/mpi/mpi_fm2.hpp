@@ -1,0 +1,113 @@
+// MPI over FM 2.x — the §4.1 design. The FM 2.x interface features map to
+// MPI mechanics one-for-one:
+//  * Gather: the 24-byte MPI header and the user payload are sent as two
+//    pieces of one FM message — no staging assembly.
+//  * Layer interleaving: the handler reads the header from the stream,
+//    consults MPI's matching state, and receives the payload *directly into
+//    the posted user buffer* — the single receive-side copy.
+//  * Receiver flow control: data that MPI is not ready for stays unextracted
+//    and withholds credits, so sender pacing replaces buffer-pool overruns.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "fm2/fm2.hpp"
+#include "mpi/mpi.hpp"
+
+namespace fmx::mpi {
+
+struct MpiFm2Options {
+  /// Ablation: pre-assemble [header|payload] in a contiguous staging buffer
+  /// and send it as one piece, FM 1.x style, instead of gathering. Shows
+  /// what the gather interface is worth (bench/ablation_features).
+  bool staged_send = false;
+  /// Messages larger than this use the rendezvous protocol (RTS -> CTS ->
+  /// data): the payload is only transferred once the receive buffer is
+  /// known, so large unexpected messages never get staged. Default: eager
+  /// only (the paper-era MPI-FM protocol).
+  std::size_t eager_threshold = ~std::size_t{0};
+};
+
+class MpiFm2 : public Comm {
+ public:
+  /// Standalone: owns its FM endpoint.
+  MpiFm2(net::Cluster& cluster, int node_id, fm2::Config fm_cfg = {},
+         MpiFm2Options opt = {});
+  /// Layered: share one FM endpoint per process with other libraries
+  /// (sockets, shmem, ...), each owning its handler ids — how the real FM
+  /// was used. The endpoint must outlive this object.
+  explicit MpiFm2(fm2::Endpoint& shared, MpiFm2Options opt = {});
+
+  int rank() const override { return fm_.id(); }
+  int size() const override { return fm_.cluster_size(); }
+  sim::Task<void> host_compute(sim::Ps t) override {
+    return fm_.host().compute(t);
+  }
+  fm2::Endpoint& fm() noexcept { return fm_; }
+
+  /// Receive-side pacing (bytes per FM_extract while blocked); 0 = no limit.
+  void set_extract_budget(std::size_t bytes) { extract_budget_ = bytes; }
+
+ protected:
+  sim::Task<void> do_send(ByteSpan data, int dst, int tag) override;
+  sim::Task<Request> do_post_recv(MutByteSpan buf, int src,
+                                  int tag) override;
+  sim::Task<void> progress_until(std::function<bool()> done) override;
+  sim::Task<void> progress_once() override;
+  std::optional<Status> peek_unexpected(int src, int tag) override;
+
+ private:
+  static constexpr fm2::HandlerId kMpiHandler = 1;
+
+  /// An unexpected arrival. Because FM 2.x handlers are interleaved with
+  /// message reception, an arrival's envelope becomes matchable as soon as
+  /// its header is read — possibly while its payload is still streaming in.
+  /// A receive posted during that window claims the record and completes
+  /// when the handler finishes buffering.
+  struct UnexpectedArrival {
+    int src = -1;
+    int tag = 0;
+    Bytes data;
+    bool complete = false;
+    std::shared_ptr<RequestState> claimed;  // posted while in flight
+    std::byte* user_buf = nullptr;
+    std::size_t user_cap = 0;
+    // Rendezvous: this entry is an RTS envelope, not buffered data.
+    bool is_rts = false;
+    std::uint64_t rts_id = 0;
+    std::size_t rts_bytes = 0;
+  };
+
+  struct PendingRdzvSend {
+    bool cts = false;
+  };
+  struct RdzvRecv {
+    std::shared_ptr<RequestState> req;
+    std::byte* buf = nullptr;
+    int src = -1;
+    int tag = 0;
+    std::size_t bytes = 0;
+  };
+
+  fm2::HandlerTask on_message(fm2::RecvStream& s, int src);
+  void complete(RequestState& st, int src, int tag, std::size_t count);
+  void finish_unexpected(const std::shared_ptr<UnexpectedArrival>& ua);
+  /// Accept an RTS whose receive buffer is known: record the rendezvous
+  /// and queue the CTS reply.
+  void grant_rts(int src, std::uint64_t id, int tag, std::size_t bytes,
+                 std::byte* buf, std::shared_ptr<RequestState> req);
+
+  std::unique_ptr<fm2::Endpoint> owned_;
+  fm2::Endpoint& fm_;
+  MpiFm2Options opt_;
+  Matcher matcher_;  // posted queue only; unexpected_ replaces its queue
+  std::deque<std::shared_ptr<UnexpectedArrival>> unexpected_;
+  std::unordered_map<std::uint64_t, PendingRdzvSend> rdzv_sends_;
+  std::unordered_map<std::uint64_t, RdzvRecv> rdzv_recvs_;
+  std::uint64_t send_seq_ = 0;
+  std::size_t extract_budget_ = 0;
+};
+
+}  // namespace fmx::mpi

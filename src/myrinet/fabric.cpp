@@ -1,0 +1,132 @@
+#include "myrinet/fabric.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace fmx::net {
+
+Fabric::Fabric(sim::Engine& eng, const FabricParams& p, int n_hosts)
+    : eng_(eng), p_(p), n_hosts_(n_hosts) {
+  assert(n_hosts >= 1);
+  n_switches_ = (n_hosts + p_.hosts_per_switch - 1) / p_.hosts_per_switch;
+  up_.reserve(n_hosts);
+  down_.reserve(n_hosts);
+  for (int h = 0; h < n_hosts; ++h) {
+    // Uplink latency includes the switch's routing decision on entry.
+    up_.push_back(
+        std::make_unique<Link>(eng_, p_.link_latency + p_.switch_latency));
+    down_.push_back(std::make_unique<Link>(eng_, p_.link_latency));
+  }
+  for (int s = 0; s + 1 < n_switches_; ++s) {
+    right_.push_back(
+        std::make_unique<Link>(eng_, p_.link_latency + p_.switch_latency));
+    left_.push_back(
+        std::make_unique<Link>(eng_, p_.link_latency + p_.switch_latency));
+  }
+  endpoints_.resize(n_hosts);
+}
+
+void Fabric::attach(int host, sim::Channel<WirePacket>* wire_in,
+                    sim::Semaphore* slack) {
+  endpoints_[host].wire_in = wire_in;
+  endpoints_[host].slack = slack;
+}
+
+std::size_t Fabric::wire_bytes(std::size_t payload) const {
+  return p_.frame_overhead + payload + p_.crc_bytes;
+}
+
+int Fabric::hops(int src, int dst) const {
+  if (src == dst) return 0;
+  return 1 + std::abs(switch_of(src) - switch_of(dst));
+}
+
+std::vector<Fabric::Link*> Fabric::route(int src, int dst) {
+  std::vector<Link*> path;
+  path.push_back(up_[src].get());
+  int s = switch_of(src);
+  int t = switch_of(dst);
+  while (s < t) {
+    path.push_back(right_[s].get());
+    ++s;
+  }
+  while (s > t) {
+    path.push_back(left_[s - 1].get());
+    --s;
+  }
+  path.push_back(down_[dst].get());
+  return path;
+}
+
+sim::Ps Fabric::zero_load_latency(int src, int dst,
+                                  std::size_t payload) const {
+  sim::Ps ser = static_cast<sim::Ps>(
+      p_.link_ps_per_byte * static_cast<double>(wire_bytes(payload)));
+  if (src == dst) return p_.switch_latency + ser;
+  sim::Ps lat = up_[src]->latency + down_[dst]->latency;
+  int inter = std::abs(switch_of(src) - switch_of(dst));
+  lat += static_cast<sim::Ps>(inter) * (p_.link_latency + p_.switch_latency);
+  return lat + ser;  // cut-through: one serialization end to end
+}
+
+void Fabric::maybe_corrupt(WirePacket& pkt) {
+  if (p_.bit_error_rate <= 0.0 || pkt.payload.empty()) return;
+  double bits = 8.0 * static_cast<double>(wire_bytes(pkt.payload.size()));
+  double p_bad = 1.0 - std::pow(1.0 - p_.bit_error_rate, bits);
+  if (rng_.uniform_real() < p_bad) {
+    std::size_t pos = rng_.uniform(0, pkt.payload.size() - 1);
+    std::size_t bit = rng_.uniform(0, 7);
+    pkt.payload[pos] ^= static_cast<std::byte>(1u << bit);
+    ++stats_.corrupted;
+  }
+}
+
+sim::Task<void> Fabric::deliver(WirePacket pkt, sim::Ps at) {
+  co_await eng_.sleep_until(at);
+  maybe_corrupt(pkt);
+  auto& ep = endpoints_[pkt.dst];
+  assert(ep.wire_in && "destination NIC not attached");
+  co_await ep.wire_in->push(std::move(pkt));
+}
+
+sim::Task<void> Fabric::transmit(WirePacket pkt) {
+  assert(pkt.src >= 0 && pkt.src < n_hosts_);
+  assert(pkt.dst >= 0 && pkt.dst < n_hosts_);
+  auto& ep = endpoints_[pkt.dst];
+  assert(ep.slack && "destination NIC not attached");
+
+  pkt.wire_seq = next_seq_++;
+  ++stats_.packets;
+  stats_.payload_bytes += pkt.payload.size();
+
+  // Back-pressure: no injection until the destination NIC has SRAM for it.
+  co_await ep.slack->acquire();
+
+  if (pkt.src == pkt.dst) {
+    eng_.spawn_daemon(deliver(std::move(pkt), eng_.now() + p_.switch_latency));
+    co_return;
+  }
+
+  const sim::Ps ser = static_cast<sim::Ps>(
+      p_.link_ps_per_byte * static_cast<double>(wire_bytes(pkt.payload.size())));
+  auto path = route(pkt.src, pkt.dst);
+
+  // Cut-through reservation: on each link, start when the head arrives and
+  // the link is free; the head moves on after the link's latency.
+  sim::Ps head = eng_.now();
+  sim::Ps tail_done = eng_.now();
+  sim::Ps uplink_done = 0;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    Link* l = path[i];
+    tail_done = l->ser.reserve_from(head, ser);
+    head = (tail_done - ser) + l->latency;
+    if (i == 0) uplink_done = tail_done;
+  }
+  sim::Ps arrival = tail_done + path.back()->latency;
+
+  eng_.spawn_daemon(deliver(std::move(pkt), arrival));
+  // The sender NIC is occupied until its uplink finishes serializing.
+  co_await eng_.sleep_until(uplink_done);
+}
+
+}  // namespace fmx::net

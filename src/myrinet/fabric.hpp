@@ -1,0 +1,89 @@
+// Myrinet-style switch fabric: source-routed, cut-through, no buffering in
+// the network, link-level back-pressure. Hosts hang off crossbar switches
+// (hosts_per_switch each); switches are chained for larger clusters.
+//
+// Modeling approach: each directed link is a FIFO serial resource. A packet
+// reserves every link on its path at injection time; on link i it may start
+// no earlier than its head could have arrived from link i-1 (cut-through
+// pipelining), and no earlier than the link is free (contention). Back-
+// pressure is a slack-token semaphore per destination NIC: a sender cannot
+// inject until the receiving NIC has inbound SRAM to hold the packet —
+// the discrete-event equivalent of Myrinet's STOP/GO link flow control.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "myrinet/packet.hpp"
+#include "myrinet/params.hpp"
+#include "sim/channel.hpp"
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+#include "sim/resource.hpp"
+#include "sim/sync.hpp"
+
+namespace fmx::net {
+
+class Fabric {
+ public:
+  Fabric(sim::Engine& eng, const FabricParams& p, int n_hosts);
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// NIC registration: its inbound wire buffer and slack-token pool.
+  void attach(int host, sim::Channel<WirePacket>* wire_in,
+              sim::Semaphore* slack);
+
+  /// Inject a packet. Returns when the sender's uplink is released (i.e.
+  /// serialization done and the NIC may handle the next packet); delivery
+  /// into the destination's wire buffer continues in the background.
+  sim::Task<void> transmit(WirePacket pkt);
+
+  /// Bytes a payload occupies on the wire (framing + route + CRC).
+  std::size_t wire_bytes(std::size_t payload) const;
+  /// Number of switch hops between two hosts.
+  int hops(int src, int dst) const;
+  /// Zero-load one-way wire latency for a payload of the given size.
+  sim::Ps zero_load_latency(int src, int dst, std::size_t payload) const;
+
+  struct Stats {
+    std::uint64_t packets = 0;
+    std::uint64_t payload_bytes = 0;
+    std::uint64_t corrupted = 0;
+  };
+  const Stats& stats() const noexcept { return stats_; }
+  const FabricParams& params() const noexcept { return p_; }
+  int n_hosts() const noexcept { return n_hosts_; }
+
+ private:
+  struct Link {
+    explicit Link(sim::Engine& eng, sim::Ps lat) : ser(eng), latency(lat) {}
+    sim::SerialResource ser;
+    sim::Ps latency;
+  };
+  struct Endpoint {
+    sim::Channel<WirePacket>* wire_in = nullptr;
+    sim::Semaphore* slack = nullptr;
+  };
+
+  int switch_of(int host) const { return host / p_.hosts_per_switch; }
+  std::vector<Link*> route(int src, int dst);
+  sim::Task<void> deliver(WirePacket pkt, sim::Ps at);
+  void maybe_corrupt(WirePacket& pkt);
+
+  sim::Engine& eng_;
+  FabricParams p_;
+  int n_hosts_;
+  int n_switches_;
+  std::vector<std::unique_ptr<Link>> up_;     // host -> its switch
+  std::vector<std::unique_ptr<Link>> down_;   // switch -> host
+  std::vector<std::unique_ptr<Link>> right_;  // switch s -> s+1
+  std::vector<std::unique_ptr<Link>> left_;   // switch s+1 -> s
+  std::vector<Endpoint> endpoints_;
+  Stats stats_;
+  std::uint64_t next_seq_ = 0;
+  sim::Rng rng_{0x9E3779B97F4A7C15ull};
+};
+
+}  // namespace fmx::net

@@ -1,0 +1,88 @@
+// Host CPU cost model. Library code running "on" a host charges work to the
+// host's ledger; the charges are paid (converted into simulated delay) at
+// the next co_await host.sync(). Copies are performed for real and charged
+// through the memcpy model, so both data integrity and copy counts are
+// observable.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+
+#include "common/buffer.hpp"
+#include "myrinet/params.hpp"
+#include "sim/engine.hpp"
+#include "sim/ledger.hpp"
+#include "sim/task.hpp"
+
+namespace fmx::net {
+
+class Host {
+ public:
+  Host(sim::Engine& eng, int id, const HostParams& p)
+      : eng_(eng), id_(id), p_(p) {}
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  int id() const noexcept { return id_; }
+  sim::Engine& engine() noexcept { return eng_; }
+  const HostParams& params() const noexcept { return p_; }
+
+  /// Record `t` of CPU work in category `c`; paid at the next sync().
+  void charge(sim::Cost c, sim::Ps t) {
+    ledger_.add(c, t);
+    pending_ += t;
+  }
+
+  void charge_cycles(sim::Cost c, double cycles) {
+    charge(c, static_cast<sim::Ps>(cycles *
+                                   (static_cast<double>(sim::kPsPerSec) /
+                                    p_.cpu_hz)));
+  }
+
+  /// Record work in the ledger without adding CPU delay — used when the
+  /// time is already being spent elsewhere (e.g. PIO occupies the bus and
+  /// the host simultaneously; the bus occupancy provides the delay).
+  void note(sim::Cost c, sim::Ps t) { ledger_.add(c, t); }
+
+  sim::Ps memcpy_cost(std::size_t bytes) const {
+    double per_byte = bytes > p_.memcpy_cache_threshold
+                          ? p_.memcpy_ps_per_byte_uncached
+                          : p_.memcpy_ps_per_byte;
+    return p_.memcpy_setup +
+           static_cast<sim::Ps>(per_byte * static_cast<double>(bytes));
+  }
+
+  /// Copy with cost: really copies, charges the memcpy model, counts.
+  void copy(MutByteSpan dst, ByteSpan src, sim::Cost c = sim::Cost::kCopy) {
+    assert(dst.size() >= src.size());
+    std::memcpy(dst.data(), src.data(), src.size());
+    charge(c, memcpy_cost(src.size()));
+    ledger_.note_copy(src.size());
+  }
+
+  /// Pay all accumulated charges as simulated delay.
+  sim::Task<void> sync() {
+    sim::Ps due = pending_;
+    pending_ = 0;
+    if (due > 0) co_await eng_.delay(due);
+  }
+
+  /// Charge and pay in one step (convenience for blocking-style code).
+  sim::Task<void> compute(sim::Ps t, sim::Cost c = sim::Cost::kOther) {
+    charge(c, t);
+    co_await sync();
+  }
+
+  sim::Ps pending() const noexcept { return pending_; }
+  const sim::CostLedger& ledger() const noexcept { return ledger_; }
+  sim::CostLedger& ledger() noexcept { return ledger_; }
+
+ private:
+  sim::Engine& eng_;
+  int id_;
+  HostParams p_;
+  sim::CostLedger ledger_;
+  sim::Ps pending_ = 0;
+};
+
+}  // namespace fmx::net

@@ -1,0 +1,49 @@
+// I/O bus (SBus / PCI): one shared FIFO-arbitrated resource per node.
+// DMA engines and host programmed I/O contend here — on the FM 1.x platform
+// this contention *is* the bottleneck the paper's Figure 3a isolates.
+#pragma once
+
+#include <cstddef>
+
+#include "myrinet/params.hpp"
+#include "sim/resource.hpp"
+
+namespace fmx::net {
+
+class IoBus {
+ public:
+  IoBus(sim::Engine& eng, const IoBusParams& p) : res_(eng), p_(p) {}
+
+  sim::Ps dma_time(std::size_t bytes) const {
+    return p_.dma_setup +
+           static_cast<sim::Ps>(p_.dma_ps_per_byte *
+                                static_cast<double>(bytes));
+  }
+  sim::Ps pio_time(std::size_t bytes) const {
+    return p_.pio_setup +
+           static_cast<sim::Ps>(p_.pio_ps_per_byte *
+                                static_cast<double>(bytes));
+  }
+
+  /// Occupy the bus for a DMA transfer of `bytes`.
+  sim::Task<void> dma(std::size_t bytes) {
+    co_await res_.occupy(dma_time(bytes));
+  }
+
+  /// Occupy the bus for programmed I/O of `bytes`. The caller's host CPU is
+  /// also busy for this duration (it is executing the store loop) — callers
+  /// should ledger it via Host::note(Cost::kPio, pio_time(bytes)).
+  sim::Task<void> pio(std::size_t bytes) {
+    co_await res_.occupy(pio_time(bytes));
+  }
+
+  const IoBusParams& params() const noexcept { return p_; }
+  sim::Ps busy_time() const noexcept { return res_.busy_time(); }
+  sim::Ps backlog() const noexcept { return res_.backlog(); }
+
+ private:
+  sim::SerialResource res_;
+  IoBusParams p_;
+};
+
+}  // namespace fmx::net

@@ -1,0 +1,177 @@
+#include "myrinet/nic.hpp"
+
+#include <vector>
+
+namespace fmx::net {
+
+// Send stage 1: DMA engine fetches payloads from host memory into NIC SRAM.
+// Bounded tx_sram_ keeps the DMA engine at most a few packets ahead of the
+// wire, like the real LANai's limited SRAM.
+sim::Task<void> Nic::tx_fetch_program() {
+  for (;;) {
+    SendDescriptor d = co_await tx_queue_.pop();
+    if (d.fetch_dma) {
+      co_await bus_.dma(d.payload.size());
+    }
+    if (d.on_fetched) {
+      d.on_fetched();
+      d.on_fetched = nullptr;
+    }
+    co_await tx_sram_.push(std::move(d));
+  }
+}
+
+// Send stage 2: control program frames the packet and drives the link.
+// In reliable-link mode it also stamps go-back-N sequence numbers, retains
+// copies for retransmission, and piggybacks cumulative acks.
+sim::Task<void> Nic::tx_inject_program() {
+  for (;;) {
+    SendDescriptor d = co_await tx_sram_.pop();
+    co_await eng_.delay(p_.per_packet_tx);
+    ++stats_.tx_packets;
+    WirePacket pkt = WirePacket::make(id_, d.dst, std::move(d.payload));
+    if (p_.reliable_link) {
+      PeerTx& pt = tx_peers_[d.dst];
+      while (pt.retained.size() >=
+             static_cast<std::size_t>(p_.retransmit_window)) {
+        co_await window_cv_.wait();
+      }
+      pkt.link_seq = pt.next_seq++;
+      PeerRx& pr = rx_peers_[d.dst];
+      if (pr.ack_due) {
+        pkt.has_ack = true;
+        pkt.ack = pr.expected;
+        pr.ack_due = false;
+      }
+      if (pt.retained.empty()) pt.last_progress = eng_.now();
+      pt.retained.push_back(pkt);  // retained copy (payload duplicated)
+      rtx_cv_.notify_all();
+    }
+    co_await fabric_.transmit(std::move(pkt));
+  }
+}
+
+void Nic::process_ack(int peer, std::uint32_t ack) {
+  PeerTx& pt = tx_peers_[peer];
+  bool advanced = false;
+  while (pt.base < ack && !pt.retained.empty()) {
+    pt.retained.pop_front();
+    ++pt.base;
+    advanced = true;
+  }
+  if (advanced) {
+    pt.last_progress = eng_.now();
+    window_cv_.notify_all();
+  }
+}
+
+// Receive stage 1: drain the wire, verify CRC, and (in reliable mode)
+// enforce go-back-N sequencing. Anything dropped here frees its SRAM slot
+// immediately; the sender's timeout recovers the data.
+sim::Task<void> Nic::rx_wire_program() {
+  for (;;) {
+    WirePacket pkt = co_await wire_in_.pop();
+    co_await eng_.delay(p_.per_packet_rx);
+    if (!p_.hardware_crc) {
+      co_await eng_.delay(static_cast<sim::Ps>(
+          p_.crc_ps_per_byte * static_cast<double>(pkt.payload.size())));
+    }
+    if (!pkt.crc_ok()) {
+      ++stats_.crc_dropped;
+      rx_slack_.release();
+      continue;
+    }
+    if (p_.reliable_link) {
+      if (pkt.has_ack) process_ack(pkt.src, pkt.ack);
+      if (pkt.ack_only) {
+        rx_slack_.release();
+        continue;
+      }
+      PeerRx& pr = rx_peers_[pkt.src];
+      if (pkt.link_seq != pr.expected) {
+        // Go-back-N: duplicates and gaps are both discarded; re-ack so the
+        // sender learns where we stand.
+        ++stats_.seq_dropped;
+        pr.ack_due = true;
+        ack_cv_.notify_all();
+        rx_slack_.release();
+        continue;
+      }
+      ++pr.expected;
+      pr.ack_due = true;
+      ack_cv_.notify_all();
+    }
+    co_await rx_checked_.push(
+        RxPacket(pkt.src, std::move(pkt.payload), eng_.now()));
+  }
+}
+
+// Receive stage 2: DMA engine moves packets into the host receive ring;
+// only then is the SRAM slot (slack token) returned to the fabric.
+sim::Task<void> Nic::rx_dma_program() {
+  for (;;) {
+    RxPacket pkt = co_await rx_checked_.pop();
+    co_await bus_.dma(pkt.payload.size());
+    ++stats_.rx_packets;
+    pkt.arrived = eng_.now();
+    co_await host_ring_.push(std::move(pkt));
+    rx_slack_.release();
+  }
+}
+
+// Reliable-link: coalesced ack generation. Sleeps until a receive marks an
+// ack due, waits the coalescing window (reverse data traffic may piggyback
+// it meanwhile), then emits explicit ack packets for what is still owed.
+sim::Task<void> Nic::ack_program() {
+  for (;;) {
+    bool any_due = false;
+    for (auto& pr : rx_peers_) any_due |= pr.ack_due;
+    if (!any_due) {
+      co_await ack_cv_.wait();
+      continue;
+    }
+    co_await eng_.delay(p_.ack_delay);
+    for (int peer = 0; peer < static_cast<int>(rx_peers_.size()); ++peer) {
+      PeerRx& pr = rx_peers_[peer];
+      if (!pr.ack_due) continue;
+      pr.ack_due = false;
+      WirePacket ack = WirePacket::make(id_, peer, {});
+      ack.has_ack = true;
+      ack.ack = pr.expected;
+      ack.ack_only = true;
+      ++stats_.acks_sent;
+      co_await fabric_.transmit(std::move(ack));
+    }
+  }
+}
+
+// Reliable-link: timeout sweep. Sleeps while nothing is outstanding; while
+// packets are retained, checks every timeout/2 whether the oldest has been
+// waiting past the timeout and, if so, resends the whole window (go-back-N).
+sim::Task<void> Nic::retransmit_program() {
+  for (;;) {
+    std::size_t outstanding = unacked();
+    if (outstanding == 0) {
+      co_await rtx_cv_.wait();
+      continue;
+    }
+    co_await eng_.delay(p_.retransmit_timeout / 2);
+    for (int peer = 0; peer < static_cast<int>(tx_peers_.size()); ++peer) {
+      PeerTx& pt = tx_peers_[peer];
+      if (pt.retained.empty()) continue;
+      if (eng_.now() - pt.last_progress < p_.retransmit_timeout) continue;
+      pt.last_progress = eng_.now();
+      // Snapshot the window: transmits suspend, and an ack arriving
+      // meanwhile pops from pt.retained (iterating it live would be a
+      // use-after-free). Stale retransmissions are dropped as duplicates.
+      std::vector<WirePacket> window(pt.retained.begin(),
+                                     pt.retained.end());
+      for (const WirePacket& pkt : window) {
+        ++stats_.retransmissions;
+        co_await fabric_.transmit(pkt);
+      }
+    }
+  }
+}
+
+}  // namespace fmx::net

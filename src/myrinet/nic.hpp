@@ -1,0 +1,155 @@
+// LANai-style network interface. Two "control programs" (coroutines) run on
+// the simulated NIC processor: the send side drains a descriptor queue,
+// optionally DMA-fetching payloads from host memory across the I/O bus, and
+// injects packets into the fabric; the receive side drains the wire buffer,
+// verifies CRC, and DMAs packets into the host receive ring.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "myrinet/fabric.hpp"
+#include "myrinet/iobus.hpp"
+#include "myrinet/packet.hpp"
+#include "myrinet/params.hpp"
+#include "sim/channel.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+
+namespace fmx::net {
+
+/// A send request from the messaging layer. User-declared constructors per
+/// the coroutine-parameter rule in sim/task.hpp.
+struct SendDescriptor {
+  SendDescriptor() = default;
+  SendDescriptor(int dst_, Bytes payload_, bool fetch_dma_,
+                 std::function<void()> on_fetched_ = {})
+      : dst(dst_),
+        payload(std::move(payload_)),
+        fetch_dma(fetch_dma_),
+        on_fetched(std::move(on_fetched_)) {}
+
+  int dst = -1;
+  Bytes payload;
+  /// True: payload lives in host memory, the NIC DMA-fetches it across the
+  /// bus (FM 2.x style). False: the host already pushed the bytes into NIC
+  /// SRAM with programmed I/O and paid for the bus itself (FM 1.x style).
+  bool fetch_dma = false;
+  /// Invoked once the payload has left host memory (pinned buffer reusable).
+  std::function<void()> on_fetched;
+};
+
+class Nic {
+ public:
+  Nic(sim::Engine& eng, int id, const NicParams& p, IoBus& bus,
+      Fabric& fabric)
+      : eng_(eng),
+        id_(id),
+        p_(p),
+        bus_(bus),
+        fabric_(fabric),
+        tx_queue_(eng, p.tx_queue_slots),
+        tx_sram_(eng, p.sram_tx_slots),
+        wire_in_(eng, sim::Channel<WirePacket>::kUnbounded),
+        rx_checked_(eng, sim::Channel<RxPacket>::kUnbounded),
+        rx_slack_(eng, static_cast<long>(p.sram_rx_slots)),
+        host_ring_(eng, p.host_ring_slots),
+        window_cv_(eng),
+        ack_cv_(eng),
+        rtx_cv_(eng) {
+    fabric_.attach(id, &wire_in_, &rx_slack_);
+    if (p_.reliable_link) {
+      tx_peers_.resize(fabric_.n_hosts());
+      rx_peers_.resize(fabric_.n_hosts());
+    }
+  }
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  /// Spawn the control programs. Call once after construction. Each
+  /// direction is a two-stage pipeline (DMA engine overlapped with the wire
+  /// side), as on the real LANai.
+  void start() {
+    eng_.spawn_daemon(tx_fetch_program());
+    eng_.spawn_daemon(tx_inject_program());
+    eng_.spawn_daemon(rx_wire_program());
+    eng_.spawn_daemon(rx_dma_program());
+    if (p_.reliable_link) {
+      eng_.spawn_daemon(ack_program());
+      eng_.spawn_daemon(retransmit_program());
+    }
+  }
+
+  int id() const noexcept { return id_; }
+  const NicParams& params() const noexcept { return p_; }
+
+  /// Enqueue a send; suspends if the descriptor queue is full.
+  sim::Task<void> enqueue(SendDescriptor d) {
+    co_await tx_queue_.push(std::move(d));
+  }
+  bool try_enqueue(SendDescriptor d) {
+    return tx_queue_.try_push(std::move(d));
+  }
+  bool tx_queue_full() const noexcept { return tx_queue_.full(); }
+
+  /// Host receive region: the messaging layer's FM_extract pops from here.
+  sim::Channel<RxPacket>& host_ring() noexcept { return host_ring_; }
+
+  struct Stats {
+    std::uint64_t tx_packets = 0;
+    std::uint64_t rx_packets = 0;
+    std::uint64_t crc_dropped = 0;
+    // reliable-link extension
+    std::uint64_t retransmissions = 0;
+    std::uint64_t acks_sent = 0;
+    std::uint64_t seq_dropped = 0;  // duplicates + out-of-order discards
+  };
+  const Stats& stats() const noexcept { return stats_; }
+  /// Unacked packets currently retained (reliable-link mode).
+  std::size_t unacked() const noexcept {
+    std::size_t n = 0;
+    for (const auto& p : tx_peers_) n += p.retained.size();
+    return n;
+  }
+
+ private:
+  struct PeerTx {
+    std::uint32_t next_seq = 0;
+    std::uint32_t base = 0;            // oldest unacked
+    std::deque<WirePacket> retained;   // [base, next_seq)
+    sim::Ps last_progress = 0;
+  };
+  struct PeerRx {
+    std::uint32_t expected = 0;
+    bool ack_due = false;
+  };
+
+  sim::Task<void> tx_fetch_program();
+  sim::Task<void> tx_inject_program();
+  sim::Task<void> rx_wire_program();
+  sim::Task<void> rx_dma_program();
+  sim::Task<void> ack_program();
+  sim::Task<void> retransmit_program();
+  void process_ack(int peer, std::uint32_t ack);
+
+  sim::Engine& eng_;
+  int id_;
+  NicParams p_;
+  IoBus& bus_;
+  Fabric& fabric_;
+  sim::Channel<SendDescriptor> tx_queue_;
+  sim::Channel<SendDescriptor> tx_sram_;  // fetched, awaiting injection
+  sim::Channel<WirePacket> wire_in_;      // bounded by rx_slack_ tokens
+  sim::Channel<RxPacket> rx_checked_;     // CRC-checked, awaiting host DMA
+  sim::Semaphore rx_slack_;
+  sim::Channel<RxPacket> host_ring_;
+  // reliable-link extension state (sized n_hosts when enabled)
+  std::vector<PeerTx> tx_peers_;
+  std::vector<PeerRx> rx_peers_;
+  sim::CondVar window_cv_;   // tx blocked on the retransmit window
+  sim::CondVar ack_cv_;      // acks pending coalescing
+  sim::CondVar rtx_cv_;      // retained packets exist
+  Stats stats_;
+};
+
+}  // namespace fmx::net

@@ -1,0 +1,61 @@
+// A cluster node (host CPU + I/O bus + NIC) and the Cluster aggregate that
+// wires N nodes to a shared fabric. This is the hardware platform the FM
+// libraries run on.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "myrinet/fabric.hpp"
+#include "myrinet/host.hpp"
+#include "myrinet/iobus.hpp"
+#include "myrinet/nic.hpp"
+#include "myrinet/params.hpp"
+#include "sim/engine.hpp"
+
+namespace fmx::net {
+
+class Node {
+ public:
+  Node(sim::Engine& eng, int id, const ClusterParams& p, Fabric& fabric)
+      : host_(eng, id, p.host),
+        bus_(eng, p.bus),
+        nic_(eng, id, p.nic, bus_, fabric) {
+    nic_.start();
+  }
+
+  int id() const noexcept { return host_.id(); }
+  Host& host() noexcept { return host_; }
+  IoBus& bus() noexcept { return bus_; }
+  Nic& nic() noexcept { return nic_; }
+
+ private:
+  Host host_;
+  IoBus bus_;
+  Nic nic_;
+};
+
+class Cluster {
+ public:
+  Cluster(sim::Engine& eng, const ClusterParams& p)
+      : eng_(eng), params_(p), fabric_(eng, p.fabric, p.n_hosts) {
+    nodes_.reserve(p.n_hosts);
+    for (int i = 0; i < p.n_hosts; ++i) {
+      nodes_.push_back(std::make_unique<Node>(eng, i, p, fabric_));
+    }
+  }
+
+  sim::Engine& engine() noexcept { return eng_; }
+  int size() const noexcept { return static_cast<int>(nodes_.size()); }
+  Node& node(int i) { return *nodes_.at(i); }
+  Fabric& fabric() noexcept { return fabric_; }
+  const ClusterParams& params() const noexcept { return params_; }
+
+ private:
+  sim::Engine& eng_;
+  ClusterParams params_;
+  Fabric fabric_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace fmx::net

@@ -1,0 +1,55 @@
+// Wire-level packet. The payload is the messaging layer's packet (header +
+// data) carried as real bytes; the fabric really computes and checks CRC-32
+// so injected bit errors are genuinely detected, not flagged.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "common/buffer.hpp"
+#include "common/crc32.hpp"
+#include "sim/time.hpp"
+
+namespace fmx::net {
+
+// Note: these types travel by value through coroutines, so they carry
+// user-declared constructors (see the toolchain note in sim/task.hpp).
+struct WirePacket {
+  WirePacket() = default;
+
+  int src = -1;
+  int dst = -1;
+  std::uint64_t wire_seq = 0;  ///< per-fabric sequence (debug/tracing)
+  Bytes payload;
+  std::uint32_t crc = 0;
+
+  // Link-level reliability (go-back-N extension; NicParams::reliable_link).
+  std::uint32_t link_seq = 0;   ///< per (src,dst) sequence number
+  std::uint32_t ack = 0;        ///< cumulative "next expected" for dst->src
+  bool has_ack = false;
+  bool ack_only = false;        ///< pure control packet, no data
+
+  static WirePacket make(int src, int dst, Bytes payload) {
+    WirePacket p;
+    p.src = src;
+    p.dst = dst;
+    p.payload = std::move(payload);
+    p.crc = crc32(p.payload);
+    return p;
+  }
+
+  bool crc_ok() const { return crc32(payload) == crc; }
+};
+
+/// A packet as it appears in the host receive region after NIC DMA.
+struct RxPacket {
+  RxPacket() = default;
+  RxPacket(int src_, Bytes payload_, sim::Ps arrived_)
+      : src(src_), payload(std::move(payload_)), arrived(arrived_) {}
+
+  int src = -1;
+  Bytes payload;
+  sim::Ps arrived = 0;  ///< time the packet landed in host memory
+};
+
+}  // namespace fmx::net

@@ -1,0 +1,82 @@
+// Calibrated platform presets. Constants are fitted so the *protocol code*
+// running above them reproduces the paper's headline numbers; the fits and
+// the measured results are tabulated in EXPERIMENTS.md.
+#include "myrinet/params.hpp"
+
+namespace fmx::net {
+
+ClusterParams sparc_fm1_cluster(int n_hosts) {
+  ClusterParams p;
+  p.n_hosts = n_hosts;
+
+  // ~60 MHz SuperSPARC-class host. Copies are expensive (~20 MB/s streaming)
+  // — this is what makes MPI-FM 1.x's extra copies so costly (Figure 4).
+  p.host.cpu_hz = 60e6;
+  p.host.memcpy_setup = sim::ns(300);
+  p.host.memcpy_ps_per_byte = 50'000;            // 50 ns/B = 20 MB/s
+  p.host.memcpy_ps_per_byte_uncached = 80'000;   // 12.5 MB/s
+  p.host.memcpy_cache_threshold = 16 * 1024;
+  p.host.call_overhead = sim::ns(2'500);
+  p.host.handler_dispatch = sim::ns(750);
+  p.host.poll_gap = sim::ns(500);
+
+  // SBus: send side uses programmed I/O (the Figure 3a bottleneck);
+  // receive side uses DMA.
+  p.bus.pio_setup = sim::ns(2'000);
+  p.bus.pio_ps_per_byte = 15'800;  // ~63 MB/s burst writes
+  p.bus.dma_setup = sim::ns(1'000);
+  p.bus.dma_ps_per_byte = 25'000;  // ~40 MB/s SBus DMA
+
+  // First-generation Myrinet NIC: 128 B packets, ~2 us of control-program
+  // work per packet.
+  p.nic.mtu_payload = 128;
+  p.nic.sram_rx_slots = 8;
+  p.nic.tx_queue_slots = 8;
+  p.nic.host_ring_slots = 64;
+  p.nic.per_packet_tx = sim::us(2.0);
+  p.nic.per_packet_rx = sim::us(2.0);
+
+  // 80 MB/s links (0.64 Gb/s first-generation Myrinet).
+  p.fabric.link_ps_per_byte = 12'500;
+  p.fabric.link_latency = sim::ns(300);
+  p.fabric.switch_latency = sim::ns(550);
+  return p;
+}
+
+ClusterParams ppro_fm2_cluster(int n_hosts) {
+  ClusterParams p;
+  p.n_hosts = n_hosts;
+
+  // 200 MHz Pentium Pro. Cached copies ~100 MB/s.
+  p.host.cpu_hz = 200e6;
+  p.host.memcpy_setup = sim::ns(100);
+  p.host.memcpy_ps_per_byte = 10'000;            // 10 ns/B = 100 MB/s
+  p.host.memcpy_ps_per_byte_uncached = 16'000;   // ~62 MB/s
+  p.host.memcpy_cache_threshold = 128 * 1024;
+  p.host.call_overhead = sim::ns(800);
+  p.host.handler_dispatch = sim::ns(400);
+  p.host.poll_gap = sim::ns(150);
+
+  // 33 MHz/32-bit PCI: ~80 MB/s sustained DMA — the FM 2.x bandwidth
+  // ceiling the paper reports (77 MB/s delivered).
+  p.bus.pio_setup = sim::ns(300);
+  p.bus.pio_ps_per_byte = 30'000;
+  p.bus.dma_setup = sim::ns(800);
+  p.bus.dma_ps_per_byte = 12'000;  // ~83 MB/s
+
+  // Second-generation NIC: larger packets, faster LANai.
+  p.nic.mtu_payload = 1024;
+  p.nic.sram_rx_slots = 8;
+  p.nic.tx_queue_slots = 16;
+  p.nic.host_ring_slots = 128;
+  p.nic.per_packet_tx = sim::us(2.0);
+  p.nic.per_packet_rx = sim::us(2.0);
+
+  // 160 MB/s links (1.28 Gb/s Myrinet).
+  p.fabric.link_ps_per_byte = 6'250;
+  p.fabric.link_latency = sim::ns(300);
+  p.fabric.switch_latency = sim::ns(550);
+  return p;
+}
+
+}  // namespace fmx::net

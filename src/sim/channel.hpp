@@ -1,0 +1,88 @@
+// Bounded awaitable FIFO. A full channel blocks pushers — this is how
+// back-pressure propagates through the simulated network (link slack
+// buffers, NIC inbound queues, switch ports).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <limits>
+#include <optional>
+#include <utility>
+
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace fmx::sim {
+
+template <typename T>
+class Channel {
+ public:
+  static constexpr std::size_t kUnbounded =
+      std::numeric_limits<std::size_t>::max();
+
+  Channel(Engine& eng, std::size_t capacity)
+      : capacity_(capacity), not_full_(eng), not_empty_(eng) {}
+
+  /// Blocks (suspends) while the channel is full.
+  Task<void> push(T v) {
+    while (buf_.size() >= capacity_) co_await not_full_.wait();
+    buf_.push_back(std::move(v));
+    not_empty_.notify_one();
+  }
+
+  /// Blocks (suspends) while the channel is empty.
+  Task<T> pop() {
+    while (buf_.empty()) co_await not_empty_.wait();
+    T v = std::move(buf_.front());
+    buf_.pop_front();
+    not_full_.notify_one();
+    co_return v;
+  }
+
+  /// Suspend until the channel has at least one element (without popping),
+  /// or until the next poke(). Lets pollers sleep instead of busy-spinning
+  /// the event queue. May wake spuriously; callers' conditions must be
+  /// re-checked (all in-tree callers are Mesa-style loops).
+  sim::Task<void> wait_nonempty() {
+    std::uint64_t gen = poke_gen_;
+    while (buf_.empty() && poke_gen_ == gen) co_await not_empty_.wait();
+  }
+
+  /// Wake ALL sleepers once so they re-evaluate external conditions —
+  /// needed when one poller's extraction can satisfy another poller's
+  /// predicate without any new channel traffic.
+  void poke() {
+    ++poke_gen_;
+    not_empty_.notify_all();
+  }
+
+  bool try_push(T v) {
+    if (buf_.size() >= capacity_) return false;
+    buf_.push_back(std::move(v));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  std::optional<T> try_pop() {
+    if (buf_.empty()) return std::nullopt;
+    T v = std::move(buf_.front());
+    buf_.pop_front();
+    not_full_.notify_one();
+    return v;
+  }
+
+  const T& front() const { return buf_.front(); }
+  std::size_t size() const noexcept { return buf_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  bool empty() const noexcept { return buf_.empty(); }
+  bool full() const noexcept { return buf_.size() >= capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t poke_gen_ = 0;
+  std::deque<T> buf_;
+  CondVar not_full_;
+  CondVar not_empty_;
+};
+
+}  // namespace fmx::sim

@@ -1,0 +1,76 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <memory>
+
+namespace fmx::sim {
+namespace {
+
+// Detached driver for root tasks: eagerly starts, self-destroys on return.
+struct Detached {
+  struct promise_type {
+    Detached get_return_object() { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    // Let the exception escape through Engine::run so tests see it.
+    void unhandled_exception() { throw; }
+  };
+};
+
+Detached drive(Engine* eng, std::shared_ptr<Task<void>> task,
+               int* live_roots) {
+  co_await std::move(*task);
+  (void)eng;
+  --*live_roots;
+}
+
+}  // namespace
+
+void Engine::schedule_at(Ps t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule in the past");
+  queue_.push(Event{t, next_seq_++, {}, std::move(fn)});
+}
+
+void Engine::schedule_at(Ps t, std::coroutine_handle<> h) {
+  assert(t >= now_ && "cannot schedule in the past");
+  queue_.push(Event{t, next_seq_++, h, {}});
+}
+
+void Engine::spawn(Task<void> task) {
+  ++live_roots_;
+  auto t = std::make_shared<Task<void>>(std::move(task));
+  schedule_at(now_, [this, t]() mutable { drive(this, t, &live_roots_); });
+}
+
+void Engine::spawn_daemon(Task<void> task) {
+  auto t = std::make_shared<Task<void>>(std::move(task));
+  schedule_at(now_,
+              [this, t]() mutable { drive(this, t, &daemon_roots_); });
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.t;
+  ++processed_;
+  if (ev.fn) {
+    ev.fn();
+  } else {
+    ev.coro.resume();
+  }
+  return true;
+}
+
+std::uint64_t Engine::run(Ps until) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.top().t <= until) {
+    step();
+    ++n;
+  }
+  if (now_ < until && until != std::numeric_limits<Ps>::max()) now_ = until;
+  return n;
+}
+
+}  // namespace fmx::sim

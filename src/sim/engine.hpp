@@ -1,0 +1,91 @@
+// Deterministic single-threaded discrete-event engine. Events at equal
+// timestamps run in schedule order (FIFO tie-break), so every simulation is
+// exactly reproducible.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace fmx::sim {
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Ps now() const noexcept { return now_; }
+
+  /// Schedule a callback at absolute time t (>= now).
+  void schedule_at(Ps t, std::function<void()> fn);
+  void schedule_at(Ps t, std::coroutine_handle<> h);
+  void schedule_in(Ps dt, std::function<void()> fn) {
+    schedule_at(now_ + dt, std::move(fn));
+  }
+
+  /// Launch a detached root task at the current time. The engine tracks the
+  /// number of unfinished roots so tests can detect deadlock (events drained
+  /// while roots are still suspended on conditions that will never fire).
+  void spawn(Task<void> task);
+
+  /// Like spawn, but for server loops that intentionally never finish (NIC
+  /// control programs, switch ports). Not counted in pending_roots().
+  void spawn_daemon(Task<void> task);
+
+  /// Awaitable: resume after dt picoseconds of simulated time.
+  auto delay(Ps dt) { return DelayAwaiter{*this, now_ + dt}; }
+  /// Awaitable: resume at absolute simulated time t (>= now).
+  auto sleep_until(Ps t) { return DelayAwaiter{*this, t < now_ ? now_ : t}; }
+
+  /// Run until the event queue is empty or `until` is reached.
+  /// Returns the number of events processed.
+  std::uint64_t run(Ps until = std::numeric_limits<Ps>::max());
+
+  /// Process a single event; returns false if the queue is empty.
+  bool step();
+
+  bool idle() const noexcept { return queue_.empty(); }
+  std::uint64_t events_processed() const noexcept { return processed_; }
+
+  /// Unfinished root tasks. Nonzero after run() to exhaustion == deadlock.
+  int pending_roots() const noexcept { return live_roots_; }
+
+ private:
+  struct DelayAwaiter {
+    Engine& eng;
+    Ps wake;
+    bool await_ready() const noexcept { return wake <= eng.now_; }
+    void await_suspend(std::coroutine_handle<> h) { eng.schedule_at(wake, h); }
+    void await_resume() const noexcept {}
+  };
+
+  struct Event {
+    Ps t;
+    std::uint64_t seq;
+    std::coroutine_handle<> coro;    // used when fn is empty
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+
+  void run_root(std::coroutine_handle<Task<void>::promise_type> h);
+
+  Ps now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  int live_roots_ = 0;
+  int daemon_roots_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace fmx::sim

@@ -1,0 +1,37 @@
+// Deterministic randomness for workload generation and fault injection.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace fmx::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : gen_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(gen_);
+  }
+
+  double uniform_real() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(gen_);
+  }
+
+  bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(gen_);
+  }
+
+  /// Exponential with the given mean (inter-arrival modelling).
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(gen_);
+  }
+
+  std::mt19937_64& engine() noexcept { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace fmx::sim

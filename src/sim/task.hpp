@@ -1,0 +1,180 @@
+// Lazy coroutine task used for all simulated activities (host processes,
+// NIC control programs, message handlers). Tasks compose with co_await and
+// use symmetric transfer, so arbitrarily deep call chains cost no stack.
+//
+// TOOLCHAIN NOTE: GCC 12.x miscompiles by-value coroutine parameters whose
+// type is an *aggregate* when the argument is a prvalue temporary (the
+// parameter copy is elided into the caller's temporary, then both frames
+// destroy it -> double free). Project rule: any struct passed by value into
+// a coroutine must have a user-declared constructor (making it a
+// non-aggregate), which sidesteps the bug. See tests/sim/engine_test.cpp.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <utility>
+#include <variant>
+
+namespace fmx::sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+class TaskPromiseBase {
+ public:
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename P>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<P> h) noexcept {
+      // Resume whoever co_awaited us; a detached root has a noop here.
+      return h.promise().continuation_;
+    }
+    void await_resume() noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void set_continuation(std::coroutine_handle<> c) noexcept {
+    continuation_ = c;
+  }
+
+ protected:
+  std::coroutine_handle<> continuation_ = std::noop_coroutine();
+};
+
+}  // namespace detail
+
+/// A lazily-started coroutine producing a T (or void). Move-only; owning.
+/// Must be co_awaited (or passed to Engine::spawn for Task<void>) exactly
+/// once; destroying an unawaited task cancels it without running it.
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  class promise_type : public detail::TaskPromiseBase {
+   public:
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void unhandled_exception() { result_ = std::current_exception(); }
+    template <typename U>
+    void return_value(U&& v) {
+      result_.template emplace<1>(std::forward<U>(v));
+    }
+    T take_result() {
+      if (auto* e = std::get_if<std::exception_ptr>(&result_)) {
+        std::rethrow_exception(*e);
+      }
+      return std::move(std::get<1>(result_));
+    }
+
+   private:
+    std::variant<std::monostate, T, std::exception_ptr> result_;
+  };
+
+  Task() noexcept = default;
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      if (h_) h_.destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() {
+    if (h_) h_.destroy();
+  }
+
+  bool valid() const noexcept { return static_cast<bool>(h_); }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> cont) noexcept {
+        h.promise().set_continuation(cont);
+        return h;  // symmetric transfer: start the child now
+      }
+      T await_resume() { return h.promise().take_result(); }
+    };
+    assert(h_ && "task must be valid to await");
+    return Awaiter{h_};
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) noexcept : h_(h) {}
+  friend class promise_type;
+
+  std::coroutine_handle<promise_type> h_{};
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  class promise_type : public detail::TaskPromiseBase {
+   public:
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void unhandled_exception() { error_ = std::current_exception(); }
+    void return_void() noexcept {}
+    void take_result() {
+      if (error_) std::rethrow_exception(error_);
+    }
+
+   private:
+    std::exception_ptr error_{};
+  };
+
+  Task() noexcept = default;
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      if (h_) h_.destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() {
+    if (h_) h_.destroy();
+  }
+
+  bool valid() const noexcept { return static_cast<bool>(h_); }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> cont) noexcept {
+        h.promise().set_continuation(cont);
+        return h;
+      }
+      void await_resume() { h.promise().take_result(); }
+    };
+    assert(h_ && "task must be valid to await");
+    return Awaiter{h_};
+  }
+
+  /// Release ownership (used by Engine::spawn's root driver).
+  std::coroutine_handle<promise_type> release() noexcept {
+    return std::exchange(h_, {});
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) noexcept : h_(h) {}
+  friend class promise_type;
+
+  std::coroutine_handle<promise_type> h_{};
+};
+
+}  // namespace fmx::sim

@@ -1,0 +1,56 @@
+#include "sockets/overlapped.hpp"
+
+namespace fmx::sock {
+
+Overlapped::Overlapped(sim::Engine& eng, SocketFm& stack, Socket& sock)
+    : eng_(eng), stack_(stack), sock_(sock), work_cv_(eng) {
+  eng_.spawn_daemon(service());
+}
+
+IoRequest Overlapped::async_recv(MutByteSpan buf) {
+  auto st = std::make_shared<IoState>();
+  posted_.emplace_back(buf, st);
+  work_cv_.notify_all();
+  return IoRequest(st);
+}
+
+sim::Task<IoRequest> Overlapped::async_send(ByteSpan data) {
+  auto st = std::make_shared<IoState>();
+  co_await sock_.send(data);
+  st->done = true;
+  st->bytes = data.size();
+  co_return IoRequest(st);
+}
+
+sim::Task<void> Overlapped::service() {
+  for (;;) {
+    while (posted_.empty()) co_await work_cv_.wait();
+    Posted p = std::move(posted_.front());
+    posted_.pop_front();
+    std::size_t n = co_await sock_.recv(p.buf);
+    p.st->bytes = n;
+    p.st->eof = (n == 0);
+    p.st->done = true;
+    // Waiters poll through the endpoint; give them a nudge.
+    stack_.fm().kick();
+  }
+}
+
+sim::Task<std::size_t> Overlapped::wait(IoRequest req) {
+  IoState* st = req.state();
+  co_await stack_.fm().poll_until([st] { return st->done; });
+  co_return st->bytes;
+}
+
+sim::Task<int> Overlapped::wait_any(std::span<IoRequest> reqs) {
+  auto first_done = [&]() -> int {
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      if (reqs[i].done()) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  co_await stack_.fm().poll_until([&] { return first_done() >= 0; });
+  co_return first_done();
+}
+
+}  // namespace fmx::sock

@@ -1,0 +1,99 @@
+#include "workload/traffic.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace fmx::workload {
+
+SizeDistribution::SizeDistribution(std::string_view name,
+                                   std::vector<Bucket> buckets)
+    : name_(name), buckets_(std::move(buckets)) {
+  assert(!buckets_.empty());
+  double total = 0;
+  for (const auto& b : buckets_) {
+    assert(b.lo <= b.hi);
+    total += b.weight;
+  }
+  mean_ = 0;
+  for (auto& b : buckets_) {
+    b.weight /= total;
+    mean_ += b.weight * (static_cast<double>(b.lo) +
+                         static_cast<double>(b.hi)) / 2.0;
+  }
+}
+
+std::size_t SizeDistribution::sample(sim::Rng& rng) const {
+  double p = rng.uniform_real();
+  for (const auto& b : buckets_) {
+    if (p < b.weight) return rng.uniform(b.lo, b.hi);
+    p -= b.weight;
+  }
+  return rng.uniform(buckets_.back().lo, buckets_.back().hi);
+}
+
+double SizeDistribution::fraction_at_most(std::size_t cutoff) const {
+  double f = 0;
+  for (const auto& b : buckets_) {
+    if (cutoff >= b.hi) {
+      f += b.weight;
+    } else if (cutoff >= b.lo) {
+      f += b.weight * static_cast<double>(cutoff - b.lo + 1) /
+           static_cast<double>(b.hi - b.lo + 1);
+    }
+  }
+  return f;
+}
+
+SizeDistribution SizeDistribution::gusella_ethernet() {
+  // "the majority of packets were less than 576 bytes; of these 60% were
+  // 50 bytes or less" — modelled as 75% short (of which 60% tiny), the
+  // rest split between mid-size and near-MTU bulk.
+  return SizeDistribution("gusella-ethernet",
+                          {{0.45, 8, 50},       // tiny control/RPC
+                           {0.30, 51, 575},     // rest of the short mass
+                           {0.15, 576, 1072},   // mid
+                           {0.10, 1073, 1500}}); // bulk near Ethernet MTU
+}
+
+SizeDistribution SizeDistribution::kay_pasquale_tcp() {
+  // "over 99% of packets are less than 200 bytes".
+  return SizeDistribution("kay-pasquale-tcp",
+                          {{0.992, 1, 199}, {0.008, 200, 1460}});
+}
+
+SizeDistribution SizeDistribution::kay_pasquale_udp() {
+  // "86% of messages of less than 200 bytes", NFS (8 KB blocks) making up
+  // much of the rest.
+  return SizeDistribution("kay-pasquale-udp",
+                          {{0.86, 1, 199},
+                           {0.08, 200, 1000},
+                           {0.06, 7000, 8192}});
+}
+
+SizeDistribution SizeDistribution::suny_buffalo() {
+  // "average packet sizes of 300 to 400 bytes" with a short-heavy shape.
+  return SizeDistribution("suny-buffalo",
+                          {{0.55, 16, 128},
+                           {0.25, 129, 576},
+                           {0.20, 577, 1500}});
+}
+
+SizeDistribution SizeDistribution::fixed(std::size_t size) {
+  return SizeDistribution("fixed", {{1.0, size, size}});
+}
+
+SizeDistribution SizeDistribution::uniform(std::size_t lo, std::size_t hi) {
+  return SizeDistribution("uniform", {{1.0, lo, hi}});
+}
+
+std::vector<std::size_t> generate_sizes(const SizeDistribution& dist, int n,
+                                        std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<std::size_t> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) out.push_back(dist.sample(rng));
+  return out;
+}
+
+}  // namespace fmx::workload

@@ -1,0 +1,56 @@
+// Message-size workload models from the studies the paper builds its case
+// on (§2.1): Gusella's diskless-workstation Ethernet study, Kay &
+// Pasquale's FDDI TCP/UDP measurements, and the SUNY-Buffalo "average
+// 300-400 B" observation. These drive the traffic_replay example and the
+// motivation bench; their statistical properties are unit-tested.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace fmx::workload {
+
+/// A piecewise-uniform message-size distribution: with probability
+/// `weight`, draw uniformly from [lo, hi].
+struct Bucket {
+  double weight;
+  std::size_t lo;
+  std::size_t hi;
+};
+
+class SizeDistribution {
+ public:
+  SizeDistribution(std::string_view name, std::vector<Bucket> buckets);
+
+  std::size_t sample(sim::Rng& rng) const;
+  double mean() const noexcept { return mean_; }
+  /// Fraction of messages at or below `cutoff` bytes (exact, analytic).
+  double fraction_at_most(std::size_t cutoff) const;
+  std::string_view name() const noexcept { return name_; }
+
+  /// Gusella 1990: majority of packets < 576 B; of those, 60% are <= 50 B.
+  static SizeDistribution gusella_ethernet();
+  /// Kay & Pasquale: > 99% of TCP packets < 200 B.
+  static SizeDistribution kay_pasquale_tcp();
+  /// Kay & Pasquale: 86% of UDP messages < 200 B (NFS-dominated).
+  static SizeDistribution kay_pasquale_udp();
+  /// SUNY-Buffalo: average packet sizes of 300-400 B across networks.
+  static SizeDistribution suny_buffalo();
+  /// Degenerate distributions for controlled experiments.
+  static SizeDistribution fixed(std::size_t size);
+  static SizeDistribution uniform(std::size_t lo, std::size_t hi);
+
+ private:
+  std::string name_;
+  std::vector<Bucket> buckets_;  // weights normalized to sum 1
+  double mean_;
+};
+
+/// Draw `n` message sizes (deterministic per seed).
+std::vector<std::size_t> generate_sizes(const SizeDistribution& dist, int n,
+                                        std::uint64_t seed);
+
+}  // namespace fmx::workload

@@ -1,0 +1,41 @@
+#include "common/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fmx {
+namespace {
+
+TEST(PatternBytes, DeterministicPerSeed) {
+  auto a = pattern_bytes(1, 128);
+  auto b = pattern_bytes(1, 128);
+  auto c = pattern_bytes(2, 128);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(PatternBytes, SliceValidation) {
+  auto whole = pattern_bytes(55, 1024);
+  // Any slice validates against the same pattern at its offset.
+  EXPECT_EQ(pattern_mismatch(55, 0, ByteSpan{whole}), -1);
+  EXPECT_EQ(pattern_mismatch(55, 100, ByteSpan{whole}.subspan(100, 200)), -1);
+  EXPECT_EQ(pattern_mismatch(55, 1000, ByteSpan{whole}.subspan(1000)), -1);
+}
+
+TEST(PatternBytes, MismatchReportsFirstBadIndex) {
+  auto data = pattern_bytes(9, 64);
+  data[17] ^= std::byte{0xFF};
+  EXPECT_EQ(pattern_mismatch(9, 0, ByteSpan{data}), 17);
+}
+
+TEST(PatternBytes, WrongSeedMismatches) {
+  auto data = pattern_bytes(3, 64);
+  EXPECT_NE(pattern_mismatch(4, 0, ByteSpan{data}), -1);
+}
+
+TEST(FormatMbps, Formats) {
+  EXPECT_EQ(format_mbps(17.6e6), "17.60 MB/s");
+  EXPECT_EQ(format_mbps(0.0), "0.00 MB/s");
+}
+
+}  // namespace
+}  // namespace fmx

@@ -1,0 +1,63 @@
+#include "common/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string_view>
+
+#include "common/buffer.hpp"
+
+namespace fmx {
+namespace {
+
+ByteSpan span_of(std::string_view s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+TEST(Crc32, KnownVectors) {
+  // Standard CRC-32 (IEEE) check values.
+  EXPECT_EQ(crc32(span_of("")), 0x00000000u);
+  EXPECT_EQ(crc32(span_of("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32(span_of("The quick brown fox jumps over the lazy dog")),
+            0x414FA339u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  Bytes data = pattern_bytes(7, 1000);
+  auto whole = crc32(data);
+  std::uint32_t st = crc32_init();
+  st = crc32_update(st, ByteSpan{data}.subspan(0, 137));
+  st = crc32_update(st, ByteSpan{data}.subspan(137, 600));
+  st = crc32_update(st, ByteSpan{data}.subspan(737));
+  EXPECT_EQ(crc32_final(st), whole);
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  Bytes data = pattern_bytes(42, 256);
+  auto good = crc32(data);
+  for (std::size_t pos : {std::size_t{0}, std::size_t{100}, std::size_t{255}}) {
+    Bytes bad = data;
+    bad[pos] ^= std::byte{0x10};
+    EXPECT_NE(crc32(bad), good) << "flip at " << pos;
+  }
+}
+
+class Crc32Param : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Crc32Param, SplitInvariance) {
+  // Property: CRC is invariant under any chunking of the input.
+  const std::size_t len = 512;
+  Bytes data = pattern_bytes(99, len);
+  auto whole = crc32(data);
+  std::size_t split = GetParam();
+  std::uint32_t st = crc32_init();
+  st = crc32_update(st, ByteSpan{data}.subspan(0, split));
+  st = crc32_update(st, ByteSpan{data}.subspan(split));
+  EXPECT_EQ(crc32_final(st), whole);
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, Crc32Param,
+                         ::testing::Values(0, 1, 7, 64, 255, 256, 511, 512));
+
+}  // namespace
+}  // namespace fmx

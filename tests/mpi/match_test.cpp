@@ -1,0 +1,101 @@
+// Unit tests for the MPI matching engine (posted + unexpected queues,
+// wildcards, FIFO ordering rules).
+#include "mpi/match.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fmx::mpi {
+namespace {
+
+std::shared_ptr<RequestState> req() {
+  return std::make_shared<RequestState>();
+}
+
+TEST(Matches, ExactAndWildcards) {
+  EXPECT_TRUE(matches(3, 7, 3, 7));
+  EXPECT_FALSE(matches(3, 7, 3, 8));
+  EXPECT_FALSE(matches(3, 7, 4, 7));
+  EXPECT_TRUE(matches(kAnySource, 7, 99, 7));
+  EXPECT_TRUE(matches(3, kAnyTag, 3, 42));
+  EXPECT_TRUE(matches(kAnySource, kAnyTag, 1, 2));
+}
+
+TEST(Matcher, PostWithNoUnexpectedQueues) {
+  Matcher m;
+  auto r = req();
+  EXPECT_FALSE(m.post(PostedRecv(nullptr, 0, 1, 2, r)).has_value());
+  EXPECT_EQ(m.posted_count(), 1u);
+}
+
+TEST(Matcher, PostConsumesMatchingUnexpectedFifo) {
+  Matcher m;
+  m.add_unexpected(UnexpectedMsg(0, 5, pattern_bytes(1, 8)));
+  m.add_unexpected(UnexpectedMsg(0, 5, pattern_bytes(2, 8)));
+  auto hit = m.post(PostedRecv(nullptr, 8, 0, 5, req()));
+  ASSERT_TRUE(hit.has_value());
+  // FIFO: the FIRST queued message matches.
+  EXPECT_EQ(pattern_mismatch(1, 0, ByteSpan{hit->data}), -1);
+  EXPECT_EQ(m.unexpected_count(), 1u);
+  EXPECT_EQ(m.posted_count(), 0u);
+}
+
+TEST(Matcher, PostSkipsNonMatchingUnexpected) {
+  Matcher m;
+  m.add_unexpected(UnexpectedMsg(0, 9, Bytes(4)));
+  auto hit = m.post(PostedRecv(nullptr, 4, 0, 5, req()));
+  EXPECT_FALSE(hit.has_value());
+  EXPECT_EQ(m.unexpected_count(), 1u);
+  EXPECT_EQ(m.posted_count(), 1u);
+}
+
+TEST(Matcher, ClaimPostedFifoAmongMatches) {
+  Matcher m;
+  auto r1 = req(), r2 = req(), r3 = req();
+  m.post(PostedRecv(nullptr, 0, kAnySource, kAnyTag, r1));
+  m.post(PostedRecv(nullptr, 0, 2, 7, r2));
+  m.post(PostedRecv(nullptr, 0, kAnySource, 7, r3));
+  // Arrival (2,7): the wildcard posted FIRST wins (MPI ordering rule).
+  auto pr = m.claim_posted(2, 7);
+  ASSERT_TRUE(pr.has_value());
+  EXPECT_EQ(pr->req.get(), r1.get());
+  // Next arrival claims the exact match posted second.
+  auto pr2 = m.claim_posted(2, 7);
+  ASSERT_TRUE(pr2.has_value());
+  EXPECT_EQ(pr2->req.get(), r2.get());
+  EXPECT_EQ(m.posted_count(), 1u);
+}
+
+TEST(Matcher, ClaimPostedNoMatch) {
+  Matcher m;
+  m.post(PostedRecv(nullptr, 0, 1, 1, req()));
+  EXPECT_FALSE(m.claim_posted(2, 2).has_value());
+  EXPECT_EQ(m.posted_count(), 1u);
+}
+
+TEST(Matcher, WildcardUnexpectedConsumption) {
+  Matcher m;
+  m.add_unexpected(UnexpectedMsg(3, 1, Bytes(1)));
+  m.add_unexpected(UnexpectedMsg(4, 2, Bytes(2)));
+  auto hit = m.post(PostedRecv(nullptr, 8, kAnySource, 2, req()));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->src, 4);
+  EXPECT_EQ(hit->tag, 2);
+}
+
+TEST(Request, StateLifecycle) {
+  Request empty;
+  EXPECT_FALSE(empty.valid());
+  auto st = req();
+  Request r(st);
+  EXPECT_TRUE(r.valid());
+  EXPECT_FALSE(r.done());
+  st->done = true;
+  st->status = Status{5, 6, 7};
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(r.status().source, 5);
+  EXPECT_EQ(r.status().tag, 6);
+  EXPECT_EQ(r.status().count, 7u);
+}
+
+}  // namespace
+}  // namespace fmx::mpi

@@ -1,0 +1,158 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace fmx::sim {
+namespace {
+
+TEST(Engine, StartsAtZero) {
+  Engine eng;
+  EXPECT_EQ(eng.now(), 0u);
+  EXPECT_TRUE(eng.idle());
+  EXPECT_EQ(eng.pending_roots(), 0);
+}
+
+TEST(Engine, CallbacksRunInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(us(3), [&] { order.push_back(3); });
+  eng.schedule_at(us(1), [&] { order.push_back(1); });
+  eng.schedule_at(us(2), [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), us(3));
+}
+
+TEST(Engine, EqualTimestampsRunFifo) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    eng.schedule_at(us(5), [&order, i] { order.push_back(i); });
+  }
+  eng.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, RunUntilStopsAndAdvancesClock) {
+  Engine eng;
+  int fired = 0;
+  eng.schedule_at(us(1), [&] { ++fired; });
+  eng.schedule_at(us(10), [&] { ++fired; });
+  eng.run(us(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eng.now(), us(5));
+  eng.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, SpawnedTaskRunsAndCompletes) {
+  Engine eng;
+  bool done = false;
+  eng.spawn([](Engine& e, bool& d) -> Task<void> {
+    co_await e.delay(us(7));
+    d = true;
+  }(eng, done));
+  EXPECT_EQ(eng.pending_roots(), 1);
+  eng.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(eng.pending_roots(), 0);
+  EXPECT_EQ(eng.now(), us(7));
+}
+
+TEST(Engine, NestedTasksComposeAndAccumulateTime) {
+  Engine eng;
+  auto inner = [](Engine& e) -> Task<int> {
+    co_await e.delay(us(2));
+    co_return 21;
+  };
+  Ps end = 0;
+  eng.spawn([](Engine& e, auto in, Ps& out) -> Task<void> {
+    int a = co_await in(e);
+    int b = co_await in(e);
+    EXPECT_EQ(a + b, 42);
+    out = e.now();
+  }(eng, inner, end));
+  eng.run();
+  EXPECT_EQ(end, us(4));
+}
+
+TEST(Engine, ZeroDelayDoesNotSuspendPast) {
+  Engine eng;
+  eng.spawn([](Engine& e) -> Task<void> {
+    Ps t0 = e.now();
+    co_await e.delay(0);
+    EXPECT_EQ(e.now(), t0);
+  }(eng));
+  eng.run();
+  EXPECT_EQ(eng.pending_roots(), 0);
+}
+
+TEST(Engine, ExceptionInChildPropagatesToParent) {
+  Engine eng;
+  bool caught = false;
+  auto thrower = [](Engine& e) -> Task<void> {
+    co_await e.delay(us(1));
+    throw std::runtime_error("boom");
+  };
+  eng.spawn([](Engine& e, auto th, bool& c) -> Task<void> {
+    try {
+      co_await th(e);
+    } catch (const std::runtime_error&) {
+      c = true;
+    }
+  }(eng, thrower, caught));
+  eng.run();
+  EXPECT_TRUE(caught);
+  EXPECT_EQ(eng.pending_roots(), 0);
+}
+
+TEST(Engine, UncaughtRootExceptionEscapesRun) {
+  Engine eng;
+  eng.spawn([](Engine& e) -> Task<void> {
+    co_await e.delay(us(1));
+    throw std::logic_error("unhandled");
+  }(eng));
+  EXPECT_THROW(eng.run(), std::logic_error);
+}
+
+TEST(Engine, ManyInterleavedTasksDeterministic) {
+  auto run_once = [] {
+    Engine eng;
+    std::vector<int> log;
+    for (int i = 0; i < 5; ++i) {
+      eng.spawn([](Engine& e, std::vector<int>& lg, int id) -> Task<void> {
+        for (int k = 0; k < 3; ++k) {
+          co_await e.delay(us(id + 1));
+          lg.push_back(id * 10 + k);
+        }
+      }(eng, log, i));
+    }
+    eng.run();
+    return log;
+  };
+  auto a = run_once();
+  auto b = run_once();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 15u);
+}
+
+TEST(Engine, SleepUntilClampsToNow) {
+  Engine eng;
+  eng.schedule_at(us(10), [] {});
+  eng.run();
+  eng.spawn([](Engine& e) -> Task<void> {
+    co_await e.sleep_until(us(3));  // in the past: resume immediately
+    EXPECT_EQ(e.now(), us(10));
+  }(eng));
+  eng.run();
+  EXPECT_EQ(eng.pending_roots(), 0);
+}
+
+}  // namespace
+}  // namespace fmx::sim

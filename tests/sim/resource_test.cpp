@@ -1,0 +1,96 @@
+#include "sim/resource.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/ledger.hpp"
+
+namespace fmx::sim {
+namespace {
+
+TEST(SerialResource, SerializesOverlappingRequests) {
+  Engine eng;
+  SerialResource bus(eng);
+  std::vector<Ps> done;
+  for (int i = 0; i < 3; ++i) {
+    eng.spawn([](Engine& e, SerialResource& b, std::vector<Ps>& d)
+                  -> Task<void> {
+      co_await b.occupy(us(10));
+      d.push_back(e.now());
+    }(eng, bus, done));
+  }
+  eng.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0], us(10));
+  EXPECT_EQ(done[1], us(20));
+  EXPECT_EQ(done[2], us(30));
+  EXPECT_EQ(bus.busy_time(), us(30));
+}
+
+TEST(SerialResource, IdleGapsAreNotCharged) {
+  Engine eng;
+  SerialResource bus(eng);
+  eng.spawn([](Engine& e, SerialResource& b) -> Task<void> {
+    co_await b.occupy(us(5));
+    co_await e.delay(us(100));  // idle gap
+    co_await b.occupy(us(5));
+    EXPECT_EQ(e.now(), us(110));
+  }(eng, bus));
+  eng.run();
+  EXPECT_EQ(bus.busy_time(), us(10));
+  EXPECT_EQ(eng.pending_roots(), 0);
+}
+
+TEST(SerialResource, ReservePipelines) {
+  Engine eng;
+  SerialResource link(eng);
+  // reserve() lets a sender queue several transfers without waiting.
+  eng.spawn([](Engine& e, SerialResource& l) -> Task<void> {
+    Ps t1 = l.reserve(us(3));
+    Ps t2 = l.reserve(us(3));
+    EXPECT_EQ(t1, us(3));
+    EXPECT_EQ(t2, us(6));
+    co_await e.sleep_until(t2);
+  }(eng, link));
+  eng.run();
+  EXPECT_EQ(eng.now(), us(6));
+}
+
+TEST(SerialResource, BacklogReflectsQueue) {
+  Engine eng;
+  SerialResource bus(eng);
+  EXPECT_EQ(bus.backlog(), 0u);
+  bus.reserve(us(7));
+  EXPECT_EQ(bus.backlog(), us(7));
+}
+
+TEST(CostLedger, AccumulatesAndDiffs) {
+  CostLedger l;
+  l.add(Cost::kCopy, ns(100));
+  l.add(Cost::kCopy, ns(50));
+  l.add(Cost::kCall, ns(10));
+  l.note_copy(256);
+  EXPECT_EQ(l.of(Cost::kCopy), ns(150));
+  EXPECT_EQ(l.total(), ns(160));
+  EXPECT_EQ(l.copies(), 1u);
+  EXPECT_EQ(l.copied_bytes(), 256u);
+
+  CostLedger snapshot = l;
+  l.add(Cost::kMatch, ns(5));
+  l.note_copy(10);
+  auto d = l.diff(snapshot);
+  EXPECT_EQ(d.of(Cost::kMatch), ns(5));
+  EXPECT_EQ(d.of(Cost::kCopy), 0u);
+  EXPECT_EQ(d.copies(), 1u);
+  EXPECT_EQ(d.copied_bytes(), 10u);
+}
+
+TEST(CostLedger, CategoryNames) {
+  EXPECT_EQ(cost_name(Cost::kBufferMgmt), "buffer_mgmt");
+  EXPECT_EQ(cost_name(Cost::kOrder), "in_order");
+  EXPECT_EQ(cost_name(Cost::kFaultTol), "fault_tol");
+}
+
+}  // namespace
+}  // namespace fmx::sim

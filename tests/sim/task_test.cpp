@@ -1,0 +1,137 @@
+// Direct semantics of the coroutine Task type: laziness, value/exception
+// transport, cancellation-by-destruction, move-only ownership.
+#include "sim/task.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace fmx::sim {
+namespace {
+
+TEST(Task, LazyUntilAwaited) {
+  bool started = false;
+  auto t = [](bool& s) -> Task<int> {
+    s = true;
+    co_return 1;
+  }(started);
+  EXPECT_FALSE(started);  // creating the task must not run the body
+  EXPECT_TRUE(t.valid());
+  // Destroy without awaiting: body never runs.
+}
+
+TEST(Task, DestructionWithoutAwaitIsCancellation) {
+  auto flag = std::make_shared<bool>(false);
+  {
+    auto t = [](std::shared_ptr<bool> f) -> Task<void> {
+      *f = true;
+      co_return;
+    }(flag);
+    (void)t;
+  }
+  EXPECT_FALSE(*flag);
+}
+
+TEST(Task, ValueTransport) {
+  Engine eng;
+  int got = 0;
+  eng.spawn([](Engine& e, int& out) -> Task<void> {
+    auto child = [](Engine& en) -> Task<int> {
+      co_await en.delay(us(1));
+      co_return 41;
+    };
+    out = 1 + co_await child(e);
+  }(eng, got));
+  eng.run();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(Task, MoveTransfersOwnership) {
+  bool done = false;
+  auto t1 = [](bool& d) -> Task<void> {
+    d = true;
+    co_return;
+  }(done);
+  Task<void> t2 = std::move(t1);
+  EXPECT_FALSE(t1.valid());
+  EXPECT_TRUE(t2.valid());
+  Engine eng;
+  eng.spawn(std::move(t2));
+  eng.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Task, MoveAssignDestroysPrevious) {
+  auto flag = std::make_shared<int>(0);
+  auto make = [](std::shared_ptr<int> f) -> Task<void> {
+    ++*f;
+    co_return;
+  };
+  Task<void> a = make(flag);
+  a = make(flag);  // first frame destroyed unrun
+  Engine eng;
+  eng.spawn(std::move(a));
+  eng.run();
+  EXPECT_EQ(*flag, 1);
+}
+
+TEST(Task, ExceptionWithValueType) {
+  Engine eng;
+  bool caught = false;
+  eng.spawn([](Engine& e, bool& c) -> Task<void> {
+    auto thrower = [](Engine& en) -> Task<int> {
+      co_await en.delay(us(1));
+      throw std::runtime_error("nope");
+      co_return 0;
+    };
+    try {
+      (void)co_await thrower(e);
+    } catch (const std::runtime_error&) {
+      c = true;
+    }
+  }(eng, caught));
+  eng.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Task, DeepCompositionChain) {
+  // 200-deep co_await chain: symmetric transfer must not blow the stack.
+  Engine eng;
+  int result = 0;
+  struct Rec {
+    static Task<int> down(Engine& e, int depth) {
+      if (depth == 0) {
+        co_await e.delay(ns(1));
+        co_return 0;
+      }
+      int below = co_await down(e, depth - 1);
+      co_return below + 1;
+    }
+  };
+  eng.spawn([](Engine& e, int& out) -> Task<void> {
+    out = co_await Rec::down(e, 200);
+  }(eng, result));
+  eng.run();
+  EXPECT_EQ(result, 200);
+}
+
+TEST(Task, MoveOnlyResultType) {
+  Engine eng;
+  std::unique_ptr<int> got;
+  eng.spawn([](Engine& e, std::unique_ptr<int>& out) -> Task<void> {
+    auto maker = [](Engine& en) -> Task<std::unique_ptr<int>> {
+      co_await en.delay(us(1));
+      co_return std::make_unique<int>(7);
+    };
+    out = co_await maker(e);
+  }(eng, got));
+  eng.run();
+  ASSERT_TRUE(got);
+  EXPECT_EQ(*got, 7);
+}
+
+}  // namespace
+}  // namespace fmx::sim

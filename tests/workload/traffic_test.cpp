@@ -1,0 +1,77 @@
+#include "workload/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fmx::workload {
+namespace {
+
+TEST(Traffic, GusellaMatchesStudy) {
+  auto d = SizeDistribution::gusella_ethernet();
+  // "majority of packets were less than 576 bytes"
+  EXPECT_GT(d.fraction_at_most(575), 0.5);
+  // "of these 60% were 50 bytes or less"
+  double tiny_given_short = d.fraction_at_most(50) / d.fraction_at_most(575);
+  EXPECT_NEAR(tiny_given_short, 0.60, 0.05);
+}
+
+TEST(Traffic, KayPasqualeTcpMatchesStudy) {
+  auto d = SizeDistribution::kay_pasquale_tcp();
+  EXPECT_GT(d.fraction_at_most(199), 0.99);  // "over 99% ... less than 200"
+}
+
+TEST(Traffic, KayPasqualeUdpMatchesStudy) {
+  auto d = SizeDistribution::kay_pasquale_udp();
+  EXPECT_NEAR(d.fraction_at_most(199), 0.86, 0.01);
+}
+
+TEST(Traffic, SunyBuffaloMeanInRange) {
+  auto d = SizeDistribution::suny_buffalo();
+  EXPECT_GE(d.mean(), 300.0);  // "average packet sizes of 300 to 400 bytes"
+  EXPECT_LE(d.mean(), 400.0);
+}
+
+TEST(Traffic, SamplesRespectBucketsAndSeedDeterminism) {
+  auto d = SizeDistribution::gusella_ethernet();
+  auto a = generate_sizes(d, 500, 1);
+  auto b = generate_sizes(d, 500, 1);
+  auto c = generate_sizes(d, 500, 2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  for (auto s : a) {
+    EXPECT_GE(s, 8u);
+    EXPECT_LE(s, 1500u);
+  }
+}
+
+TEST(Traffic, EmpiricalFractionsConvergeToAnalytic) {
+  auto d = SizeDistribution::kay_pasquale_udp();
+  auto sizes = generate_sizes(d, 20'000, 7);
+  int small = 0;
+  for (auto s : sizes) small += s <= 199;
+  double emp = static_cast<double>(small) / sizes.size();
+  EXPECT_NEAR(emp, d.fraction_at_most(199), 0.02);
+}
+
+TEST(Traffic, FixedAndUniform) {
+  auto f = SizeDistribution::fixed(256);
+  sim::Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(f.sample(rng), 256u);
+  EXPECT_DOUBLE_EQ(f.mean(), 256.0);
+  auto u = SizeDistribution::uniform(10, 20);
+  for (int i = 0; i < 100; ++i) {
+    auto s = u.sample(rng);
+    EXPECT_GE(s, 10u);
+    EXPECT_LE(s, 20u);
+  }
+  EXPECT_DOUBLE_EQ(u.mean(), 15.0);
+}
+
+TEST(Traffic, FractionAtMostEdges) {
+  auto d = SizeDistribution::fixed(100);
+  EXPECT_DOUBLE_EQ(d.fraction_at_most(99), 0.0);
+  EXPECT_DOUBLE_EQ(d.fraction_at_most(100), 1.0);
+  EXPECT_DOUBLE_EQ(d.fraction_at_most(5000), 1.0);
+}
+
+}  // namespace
+}  // namespace fmx::workload
