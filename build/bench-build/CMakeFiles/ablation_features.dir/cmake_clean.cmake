@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_features"
+  "../bench/ablation_features.pdb"
+  "CMakeFiles/ablation_features.dir/ablation_features.cpp.o"
+  "CMakeFiles/ablation_features.dir/ablation_features.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_params"
+  "../bench/ablation_params.pdb"
+  "CMakeFiles/ablation_params.dir/ablation_params.cpp.o"
+  "CMakeFiles/ablation_params.dir/ablation_params.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_am_overhead"
+  "../bench/fig2_am_overhead.pdb"
+  "CMakeFiles/fig2_am_overhead.dir/fig2_am_overhead.cpp.o"
+  "CMakeFiles/fig2_am_overhead.dir/fig2_am_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_am_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

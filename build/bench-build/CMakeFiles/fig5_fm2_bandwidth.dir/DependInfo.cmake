@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_fm2_bandwidth.cpp" "bench-build/CMakeFiles/fig5_fm2_bandwidth.dir/fig5_fm2_bandwidth.cpp.o" "gcc" "bench-build/CMakeFiles/fig5_fm2_bandwidth.dir/fig5_fm2_bandwidth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/fmx_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/fmx_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/fm1/CMakeFiles/fmx_fm1.dir/DependInfo.cmake"
+  "/root/repo/build/src/fm2/CMakeFiles/fmx_fm2.dir/DependInfo.cmake"
+  "/root/repo/build/src/myrinet/CMakeFiles/fmx_myrinet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fmx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fmx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_mpi_fm2"
+  "../bench/fig6_mpi_fm2.pdb"
+  "CMakeFiles/fig6_mpi_fm2.dir/fig6_mpi_fm2.cpp.o"
+  "CMakeFiles/fig6_mpi_fm2.dir/fig6_mpi_fm2.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_mpi_fm2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmx_benchlib.dir/common/bench_util.cpp.o"
+  "CMakeFiles/fmx_benchlib.dir/common/bench_util.cpp.o.d"
+  "libfmx_benchlib.a"
+  "libfmx_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmx_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/headline_table"
+  "../bench/headline_table.pdb"
+  "CMakeFiles/headline_table.dir/headline_table.cpp.o"
+  "CMakeFiles/headline_table.dir/headline_table.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/interleaving_hol"
+  "../bench/interleaving_hol.pdb"
+  "CMakeFiles/interleaving_hol.dir/interleaving_hol.cpp.o"
+  "CMakeFiles/interleaving_hol.dir/interleaving_hol.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interleaving_hol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

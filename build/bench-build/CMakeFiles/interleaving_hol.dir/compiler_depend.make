@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for interleaving_hol.
+# This may be replaced when dependencies are built.

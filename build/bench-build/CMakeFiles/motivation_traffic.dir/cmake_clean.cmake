@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/motivation_traffic"
+  "../bench/motivation_traffic.pdb"
+  "CMakeFiles/motivation_traffic.dir/motivation_traffic.cpp.o"
+  "CMakeFiles/motivation_traffic.dir/motivation_traffic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

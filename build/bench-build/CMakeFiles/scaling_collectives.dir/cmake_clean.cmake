@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/scaling_collectives"
+  "../bench/scaling_collectives.pdb"
+  "CMakeFiles/scaling_collectives.dir/scaling_collectives.cpp.o"
+  "CMakeFiles/scaling_collectives.dir/scaling_collectives.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

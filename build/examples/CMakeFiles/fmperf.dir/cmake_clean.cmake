@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmperf.dir/fmperf.cpp.o"
+  "CMakeFiles/fmperf.dir/fmperf.cpp.o.d"
+  "fmperf"
+  "fmperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_stencil.dir/mpi_stencil.cpp.o"
+  "CMakeFiles/mpi_stencil.dir/mpi_stencil.cpp.o.d"
+  "mpi_stencil"
+  "mpi_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmem_histogram.dir/shmem_histogram.cpp.o"
+  "CMakeFiles/shmem_histogram.dir/shmem_histogram.cpp.o.d"
+  "shmem_histogram"
+  "shmem_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmem_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

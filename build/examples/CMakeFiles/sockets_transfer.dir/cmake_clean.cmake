@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sockets_transfer.dir/sockets_transfer.cpp.o"
+  "CMakeFiles/sockets_transfer.dir/sockets_transfer.cpp.o.d"
+  "sockets_transfer"
+  "sockets_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sockets_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

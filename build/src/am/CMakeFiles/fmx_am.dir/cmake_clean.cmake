@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmx_am.dir/cmam.cpp.o"
+  "CMakeFiles/fmx_am.dir/cmam.cpp.o.d"
+  "libfmx_am.a"
+  "libfmx_am.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmx_am.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmx_analytic.dir/protocol_model.cpp.o"
+  "CMakeFiles/fmx_analytic.dir/protocol_model.cpp.o.d"
+  "libfmx_analytic.a"
+  "libfmx_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmx_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmx_common.dir/buffer.cpp.o"
+  "CMakeFiles/fmx_common.dir/buffer.cpp.o.d"
+  "CMakeFiles/fmx_common.dir/crc32.cpp.o"
+  "CMakeFiles/fmx_common.dir/crc32.cpp.o.d"
+  "libfmx_common.a"
+  "libfmx_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmx_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmx_fm1.dir/fm1.cpp.o"
+  "CMakeFiles/fmx_fm1.dir/fm1.cpp.o.d"
+  "libfmx_fm1.a"
+  "libfmx_fm1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmx_fm1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

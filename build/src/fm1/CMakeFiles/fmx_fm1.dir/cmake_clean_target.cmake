@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfmx_fm1.a"
+)

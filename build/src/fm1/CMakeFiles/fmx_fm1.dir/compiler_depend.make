@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fmx_fm1.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmx_fm2.dir/fm2.cpp.o"
+  "CMakeFiles/fmx_fm2.dir/fm2.cpp.o.d"
+  "libfmx_fm2.a"
+  "libfmx_fm2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmx_fm2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmx_ga.dir/global_array.cpp.o"
+  "CMakeFiles/fmx_ga.dir/global_array.cpp.o.d"
+  "libfmx_ga.a"
+  "libfmx_ga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmx_ga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

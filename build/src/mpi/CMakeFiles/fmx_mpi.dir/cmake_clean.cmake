@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmx_mpi.dir/mpi.cpp.o"
+  "CMakeFiles/fmx_mpi.dir/mpi.cpp.o.d"
+  "CMakeFiles/fmx_mpi.dir/mpi_fm1.cpp.o"
+  "CMakeFiles/fmx_mpi.dir/mpi_fm1.cpp.o.d"
+  "CMakeFiles/fmx_mpi.dir/mpi_fm2.cpp.o"
+  "CMakeFiles/fmx_mpi.dir/mpi_fm2.cpp.o.d"
+  "libfmx_mpi.a"
+  "libfmx_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmx_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmx_myrinet.dir/fabric.cpp.o"
+  "CMakeFiles/fmx_myrinet.dir/fabric.cpp.o.d"
+  "CMakeFiles/fmx_myrinet.dir/nic.cpp.o"
+  "CMakeFiles/fmx_myrinet.dir/nic.cpp.o.d"
+  "CMakeFiles/fmx_myrinet.dir/presets.cpp.o"
+  "CMakeFiles/fmx_myrinet.dir/presets.cpp.o.d"
+  "libfmx_myrinet.a"
+  "libfmx_myrinet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmx_myrinet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmx_shmem.dir/shmem.cpp.o"
+  "CMakeFiles/fmx_shmem.dir/shmem.cpp.o.d"
+  "libfmx_shmem.a"
+  "libfmx_shmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmx_shmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

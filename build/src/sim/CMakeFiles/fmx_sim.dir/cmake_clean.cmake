@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmx_sim.dir/engine.cpp.o"
+  "CMakeFiles/fmx_sim.dir/engine.cpp.o.d"
+  "libfmx_sim.a"
+  "libfmx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmx_sockets.dir/overlapped.cpp.o"
+  "CMakeFiles/fmx_sockets.dir/overlapped.cpp.o.d"
+  "CMakeFiles/fmx_sockets.dir/socket_fm.cpp.o"
+  "CMakeFiles/fmx_sockets.dir/socket_fm.cpp.o.d"
+  "libfmx_sockets.a"
+  "libfmx_sockets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmx_sockets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

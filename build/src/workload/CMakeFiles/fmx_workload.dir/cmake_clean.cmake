@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmx_workload.dir/traffic.cpp.o"
+  "CMakeFiles/fmx_workload.dir/traffic.cpp.o.d"
+  "libfmx_workload.a"
+  "libfmx_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmx_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/am/cmam_test.cpp" "tests/CMakeFiles/test_am.dir/am/cmam_test.cpp.o" "gcc" "tests/CMakeFiles/test_am.dir/am/cmam_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/am/CMakeFiles/fmx_am.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/fmx_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fmx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fmx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fm1.dir/fm1/fm1_test.cpp.o"
+  "CMakeFiles/test_fm1.dir/fm1/fm1_test.cpp.o.d"
+  "test_fm1"
+  "test_fm1.pdb"
+  "test_fm1[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fm1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

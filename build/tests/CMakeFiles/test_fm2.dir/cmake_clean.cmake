@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fm2.dir/fm2/fm2_platform_test.cpp.o"
+  "CMakeFiles/test_fm2.dir/fm2/fm2_platform_test.cpp.o.d"
+  "CMakeFiles/test_fm2.dir/fm2/fm2_test.cpp.o"
+  "CMakeFiles/test_fm2.dir/fm2/fm2_test.cpp.o.d"
+  "CMakeFiles/test_fm2.dir/fm2/fm_modes_test.cpp.o"
+  "CMakeFiles/test_fm2.dir/fm2/fm_modes_test.cpp.o.d"
+  "CMakeFiles/test_fm2.dir/fm2/table_api_test.cpp.o"
+  "CMakeFiles/test_fm2.dir/fm2/table_api_test.cpp.o.d"
+  "test_fm2"
+  "test_fm2.pdb"
+  "test_fm2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fm2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

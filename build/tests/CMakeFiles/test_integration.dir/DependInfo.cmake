@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/cost_structure_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/cost_structure_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/cost_structure_test.cpp.o.d"
+  "/root/repo/tests/integration/layers_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/layers_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/layers_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpi/CMakeFiles/fmx_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sockets/CMakeFiles/fmx_sockets.dir/DependInfo.cmake"
+  "/root/repo/build/src/ga/CMakeFiles/fmx_ga.dir/DependInfo.cmake"
+  "/root/repo/build/src/fm1/CMakeFiles/fmx_fm1.dir/DependInfo.cmake"
+  "/root/repo/build/src/shmem/CMakeFiles/fmx_shmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/fm2/CMakeFiles/fmx_fm2.dir/DependInfo.cmake"
+  "/root/repo/build/src/myrinet/CMakeFiles/fmx_myrinet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fmx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fmx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_myrinet.dir/myrinet/fabric_test.cpp.o"
+  "CMakeFiles/test_myrinet.dir/myrinet/fabric_test.cpp.o.d"
+  "CMakeFiles/test_myrinet.dir/myrinet/host_test.cpp.o"
+  "CMakeFiles/test_myrinet.dir/myrinet/host_test.cpp.o.d"
+  "CMakeFiles/test_myrinet.dir/myrinet/reliable_test.cpp.o"
+  "CMakeFiles/test_myrinet.dir/myrinet/reliable_test.cpp.o.d"
+  "CMakeFiles/test_myrinet.dir/myrinet/topology_test.cpp.o"
+  "CMakeFiles/test_myrinet.dir/myrinet/topology_test.cpp.o.d"
+  "test_myrinet"
+  "test_myrinet.pdb"
+  "test_myrinet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_myrinet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
