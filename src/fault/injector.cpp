@@ -1,0 +1,83 @@
+#include "fault/injector.hpp"
+
+namespace fmx::fault {
+
+const WireRates& PlanInjector::rates_for(int src, int dst) const {
+  for (const LinkOverride& o : plan_.links) {
+    if ((o.src == -1 || o.src == src) && (o.dst == -1 || o.dst == dst)) {
+      return o.rates;
+    }
+  }
+  return plan_.wire;
+}
+
+net::WireFault PlanInjector::on_deliver(const net::WirePacket& pkt) {
+  ++stats_.packets_seen;
+  const WireRates& r = rates_for(pkt.src, pkt.dst);
+  net::WireFault f;
+  if (!r.any()) return f;
+  if (r.reorder > 0 && rng_.bernoulli(r.reorder)) {
+    ++stats_.reorders;
+    f.extra_delay = r.reorder_delay;
+  }
+  if (r.corrupt > 0 && !pkt.payload.empty() && rng_.bernoulli(r.corrupt)) {
+    ++stats_.corruptions;
+    f.corrupt = true;
+    f.corrupt_pos = static_cast<std::uint32_t>(
+        rng_.uniform(0, pkt.payload.size() - 1));
+    f.corrupt_bit = static_cast<std::uint8_t>(rng_.uniform(0, 7));
+  }
+  if (r.drop > 0 && rng_.bernoulli(r.drop)) {
+    ++stats_.drops;
+    f.drop = true;
+    return f;  // a dropped packet cannot also be duplicated
+  }
+  if (r.duplicate > 0 && rng_.bernoulli(r.duplicate)) {
+    ++stats_.duplicates;
+    f.duplicate = true;
+  }
+  return f;
+}
+
+sim::Ps PlanInjector::bus_stall(std::size_t /*bytes*/) {
+  const BusStallPlan& b = plan_.bus;
+  if (!b.any()) return 0;
+  if (eng_.now() % b.period >= b.window) return 0;
+  ++stats_.bus_stalls;
+  return b.extra;
+}
+
+sim::Ps PlanInjector::jittered(sim::Ps fixed, sim::Ps jitter) {
+  if (jitter == 0) return fixed;
+  return fixed + rng_.uniform(0, jitter);
+}
+
+sim::Ps PlanInjector::tx_pacing(int /*nic_id*/) {
+  const PacingPlan& p = plan_.pacing;
+  if (p.tx == 0 && p.tx_jitter == 0) return 0;
+  return jittered(p.tx, p.tx_jitter);
+}
+
+sim::Ps PlanInjector::rx_pacing(int /*nic_id*/) {
+  const PacingPlan& p = plan_.pacing;
+  if (p.rx == 0 && p.rx_jitter == 0) return 0;
+  return jittered(p.rx, p.rx_jitter);
+}
+
+void arm(net::Cluster& cluster, PlanInjector& injector) {
+  cluster.fabric().set_fault(&injector);
+  for (int i = 0; i < cluster.size(); ++i) {
+    cluster.node(i).nic().set_fault(&injector);
+    cluster.node(i).bus().set_fault(&injector);
+  }
+}
+
+void disarm(net::Cluster& cluster) {
+  cluster.fabric().set_fault(nullptr);
+  for (int i = 0; i < cluster.size(); ++i) {
+    cluster.node(i).nic().set_fault(nullptr);
+    cluster.node(i).bus().set_fault(nullptr);
+  }
+}
+
+}  // namespace fmx::fault

@@ -1,0 +1,117 @@
+// Declarative fault schedules. A FaultPlan is pure data: per-link wire
+// fault rates, I/O-bus stall windows, and NIC pacing, all keyed by one RNG
+// seed. The same (plan, seed, workload) triple always produces the same
+// simulation — reproducing a failing run is "re-run with the printed seed".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace fmx::fault {
+
+/// Wire-level fault probabilities, consulted once per delivered packet.
+struct WireRates {
+  double drop = 0.0;       ///< P(packet evaporates in the fabric)
+  double duplicate = 0.0;  ///< P(a second copy is delivered)
+  double corrupt = 0.0;    ///< P(one payload bit is flipped)
+  double reorder = 0.0;    ///< P(packet is held back by reorder_delay)
+  sim::Ps reorder_delay = sim::us(30);
+
+  bool any() const noexcept {
+    return drop > 0 || duplicate > 0 || corrupt > 0 || reorder > 0;
+  }
+};
+
+/// Override the base rates for one directed (src,dst) host pair; -1 = any.
+struct LinkOverride {
+  int src = -1;
+  int dst = -1;
+  WireRates rates;
+};
+
+/// Periodic I/O-bus degradation: while (now mod period) < window, every
+/// transaction pays `extra` additional occupancy — a hiccuping arbiter or a
+/// competing device hogging the bus.
+struct BusStallPlan {
+  sim::Ps period = 0;  ///< 0 disables
+  sim::Ps window = 0;
+  sim::Ps extra = 0;
+
+  bool any() const noexcept { return period > 0 && window > 0 && extra > 0; }
+};
+
+/// Extra per-packet control-program delay: fixed part plus uniformly drawn
+/// jitter in [0, *_jitter]. rx pacing models a slow receiver whose
+/// back-pressure must propagate through SRAM slack and FM credits.
+struct PacingPlan {
+  sim::Ps tx = 0;
+  sim::Ps tx_jitter = 0;
+  sim::Ps rx = 0;
+  sim::Ps rx_jitter = 0;
+
+  bool any() const noexcept {
+    return tx > 0 || tx_jitter > 0 || rx > 0 || rx_jitter > 0;
+  }
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  WireRates wire;                    ///< base rates for every link
+  std::vector<LinkOverride> links;   ///< first match wins
+  BusStallPlan bus;
+  PacingPlan pacing;
+
+  // --- Canonical profiles (EXPERIMENTS.md "Fault injection") --------------
+  /// No faults at all; armed but inert (baseline for determinism checks).
+  static FaultPlan clean(std::uint64_t seed = 1) {
+    FaultPlan p;
+    p.seed = seed;
+    return p;
+  }
+
+  /// Lossy wire: drops + corruption at the given per-packet rate each.
+  static FaultPlan lossy(double rate, std::uint64_t seed) {
+    FaultPlan p;
+    p.seed = seed;
+    p.wire.drop = rate;
+    p.wire.corrupt = rate;
+    return p;
+  }
+
+  /// Everything at once: drop/dup/corrupt/reorder plus bus stalls and a
+  /// sluggish receive path. The torture profile for the property sweep.
+  static FaultPlan chaos(std::uint64_t seed, double rate = 0.02) {
+    FaultPlan p;
+    p.seed = seed;
+    p.wire.drop = rate;
+    p.wire.duplicate = rate;
+    p.wire.corrupt = rate;
+    p.wire.reorder = rate;
+    p.wire.reorder_delay = sim::us(50);
+    p.bus = {sim::us(200), sim::us(40), sim::us(3)};
+    p.pacing.rx = sim::ns(200);
+    p.pacing.rx_jitter = sim::us(1);
+    return p;
+  }
+
+  /// Degraded I/O bus only — the wire stays clean.
+  static FaultPlan degraded_bus(std::uint64_t seed) {
+    FaultPlan p;
+    p.seed = seed;
+    p.bus = {sim::us(100), sim::us(50), sim::us(5)};
+    return p;
+  }
+
+  /// Slow receiver only — exercises credit/slack back-pressure.
+  static FaultPlan slow_receiver(std::uint64_t seed) {
+    FaultPlan p;
+    p.seed = seed;
+    p.pacing.rx = sim::us(2);
+    p.pacing.rx_jitter = sim::us(2);
+    return p;
+  }
+};
+
+}  // namespace fmx::fault

@@ -92,6 +92,16 @@ class Endpoint {
   const Stats& stats() const noexcept { return stats_; }
   int credits_available(int peer) const { return credits_[peer]; }
 
+  // --- Invariant-checker exposure (mirrors fm2::Endpoint) -----------------
+  /// Effective configuration after constructor defaulting.
+  const Config& config() const noexcept { return cfg_; }
+  /// Receive slots freed locally but not yet returned to `src` as credits.
+  int credits_pending_return(int src) const { return freed_[src]; }
+  /// Packets parked host-side while a blocked sender hunted for credits.
+  std::size_t parked_packets() const noexcept { return pending_.size(); }
+  /// Multi-packet messages currently mid-reassembly.
+  std::size_t partial_messages() const noexcept { return partials_.size(); }
+
  private:
   struct Partial {
     Bytes staging;

@@ -243,6 +243,20 @@ class Endpoint {
   /// Messages whose handlers are currently suspended mid-receive.
   std::size_t active_handlers() const;
 
+  // --- Invariant-checker exposure (src/fault/invariants.hpp) --------------
+  /// Effective configuration after constructor defaulting.
+  const Config& config() const noexcept { return cfg_; }
+  /// Receive slots freed locally but not yet returned to `src` as credits.
+  int credits_pending_return(int src) const { return freed_[src]; }
+  /// Packets parked host-side while a blocked sender hunted for credits.
+  std::size_t parked_packets() const noexcept { return pending_.size(); }
+  /// Packets of future messages waiting behind an unfinished one.
+  std::size_t backlogged_packets() const noexcept {
+    std::size_t n = 0;
+    for (const auto& st : src_state_) n += st.backlog.size();
+    return n;
+  }
+
  private:
   friend class RecvStream;
 

@@ -83,9 +83,47 @@ void Fabric::maybe_corrupt(WirePacket& pkt) {
 
 sim::Task<void> Fabric::deliver(WirePacket pkt, sim::Ps at) {
   co_await eng_.sleep_until(at);
+  if (fault_ != nullptr) {
+    WireFault f = fault_->on_deliver(pkt);
+    if (f.extra_delay > 0) {
+      // Held back relative to packets behind it: observable reordering.
+      ++stats_.delayed;
+      co_await eng_.delay(f.extra_delay);
+    }
+    if (f.corrupt && !pkt.payload.empty()) {
+      pkt.payload[f.corrupt_pos % pkt.payload.size()] ^=
+          static_cast<std::byte>(1u << (f.corrupt_bit & 7));
+      ++stats_.corrupted;
+    }
+    if (f.drop) {
+      // The packet evaporates; give its reserved SRAM slot back so slack
+      // accounting stays conserved (the loss is the sender's problem).
+      ++stats_.dropped;
+      endpoints_[pkt.dst].slack->release();
+      co_return;
+    }
+    if (f.duplicate) {
+      ++stats_.duplicated;
+      WirePacket copy = pkt;
+      maybe_corrupt(pkt);
+      auto& ep = endpoints_[pkt.dst];
+      assert(ep.wire_in && "destination NIC not attached");
+      co_await ep.wire_in->push(std::move(pkt));
+      eng_.spawn_daemon(deliver_duplicate(std::move(copy)));
+      co_return;
+    }
+  }
   maybe_corrupt(pkt);
   auto& ep = endpoints_[pkt.dst];
   assert(ep.wire_in && "destination NIC not attached");
+  co_await ep.wire_in->push(std::move(pkt));
+}
+
+// A duplicated copy is a real extra packet: it must win its own SRAM slot
+// at the destination before entering the wire buffer.
+sim::Task<void> Fabric::deliver_duplicate(WirePacket pkt) {
+  auto& ep = endpoints_[pkt.dst];
+  co_await ep.slack->acquire();
   co_await ep.wire_in->push(std::move(pkt));
 }
 

@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "myrinet/fault_hooks.hpp"
 #include "myrinet/packet.hpp"
 #include "myrinet/params.hpp"
 #include "sim/channel.hpp"
@@ -51,10 +52,19 @@ class Fabric {
     std::uint64_t packets = 0;
     std::uint64_t payload_bytes = 0;
     std::uint64_t corrupted = 0;
+    // injected-fault counters (nonzero only with a FaultInjector armed)
+    std::uint64_t dropped = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t delayed = 0;
   };
   const Stats& stats() const noexcept { return stats_; }
   const FabricParams& params() const noexcept { return p_; }
   int n_hosts() const noexcept { return n_hosts_; }
+
+  /// Arm (or disarm, with nullptr) a fault injector. The injector must
+  /// outlive all traffic; it is consulted at every packet's delivery point.
+  void set_fault(FaultInjector* f) noexcept { fault_ = f; }
+  FaultInjector* fault() const noexcept { return fault_; }
 
  private:
   struct Link {
@@ -70,6 +80,7 @@ class Fabric {
   int switch_of(int host) const { return host / p_.hosts_per_switch; }
   std::vector<Link*> route(int src, int dst);
   sim::Task<void> deliver(WirePacket pkt, sim::Ps at);
+  sim::Task<void> deliver_duplicate(WirePacket pkt);
   void maybe_corrupt(WirePacket& pkt);
 
   sim::Engine& eng_;
@@ -81,6 +92,7 @@ class Fabric {
   std::vector<std::unique_ptr<Link>> right_;  // switch s -> s+1
   std::vector<std::unique_ptr<Link>> left_;   // switch s+1 -> s
   std::vector<Endpoint> endpoints_;
+  FaultInjector* fault_ = nullptr;
   Stats stats_;
   std::uint64_t next_seq_ = 0;
   sim::Rng rng_{0x9E3779B97F4A7C15ull};

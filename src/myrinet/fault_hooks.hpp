@@ -1,0 +1,51 @@
+// Fault-injection seam for the simulated platform. The myrinet components
+// (fabric, NIC, I/O bus) consult an optional FaultInjector at well-defined
+// points; the concrete deterministic implementation lives in src/fault/ and
+// depends on this layer, not the other way around. A null injector (the
+// default everywhere) costs one pointer test per packet.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace fmx::net {
+
+struct WirePacket;
+
+/// What the fabric should do to one packet at its delivery point. Decisions
+/// are made by the injector (which owns all randomness, keyed by a seed) and
+/// *applied* by the fabric, so stats and slack-token accounting stay in one
+/// place.
+struct WireFault {
+  bool drop = false;       ///< packet evaporates in the fabric
+  bool duplicate = false;  ///< a second copy is delivered after the first
+  bool corrupt = false;    ///< flip one payload bit (CRC must catch it)
+  std::uint32_t corrupt_pos = 0;  ///< payload byte index to damage
+  std::uint8_t corrupt_bit = 0;   ///< bit within that byte
+  sim::Ps extra_delay = 0;        ///< hold-back (reordering vs. later packets)
+};
+
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  /// Consulted once per packet when it reaches the destination edge of the
+  /// fabric (after cut-through latency, before the NIC sees it).
+  virtual WireFault on_deliver(const WirePacket& /*pkt*/) { return {}; }
+
+  /// Extra I/O-bus occupancy charged to a transaction issued now (stall
+  /// windows: a "hiccuping" bus arbiter or a competing device).
+  virtual sim::Ps bus_stall(std::size_t /*bytes*/) { return 0; }
+
+  /// Extra per-packet delay in the NIC send control program (slow sender).
+  virtual sim::Ps tx_pacing(int /*nic_id*/) { return 0; }
+
+  /// Extra per-packet delay in the NIC receive control program (slow
+  /// receiver: models a host that drains its ring sluggishly, building
+  /// back-pressure through SRAM slack and, above, FM credits).
+  virtual sim::Ps rx_pacing(int /*nic_id*/) { return 0; }
+};
+
+}  // namespace fmx::net

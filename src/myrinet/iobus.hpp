@@ -5,6 +5,7 @@
 
 #include <cstddef>
 
+#include "myrinet/fault_hooks.hpp"
 #include "myrinet/params.hpp"
 #include "sim/resource.hpp"
 
@@ -27,23 +28,31 @@ class IoBus {
 
   /// Occupy the bus for a DMA transfer of `bytes`.
   sim::Task<void> dma(std::size_t bytes) {
-    co_await res_.occupy(dma_time(bytes));
+    co_await res_.occupy(dma_time(bytes) + stall(bytes));
   }
 
   /// Occupy the bus for programmed I/O of `bytes`. The caller's host CPU is
   /// also busy for this duration (it is executing the store loop) — callers
   /// should ledger it via Host::note(Cost::kPio, pio_time(bytes)).
   sim::Task<void> pio(std::size_t bytes) {
-    co_await res_.occupy(pio_time(bytes));
+    co_await res_.occupy(pio_time(bytes) + stall(bytes));
   }
+
+  /// Arm (or disarm) fault-injected arbitration stalls on this bus.
+  void set_fault(FaultInjector* f) noexcept { fault_ = f; }
 
   const IoBusParams& params() const noexcept { return p_; }
   sim::Ps busy_time() const noexcept { return res_.busy_time(); }
   sim::Ps backlog() const noexcept { return res_.backlog(); }
 
  private:
+  sim::Ps stall(std::size_t bytes) const {
+    return fault_ != nullptr ? fault_->bus_stall(bytes) : 0;
+  }
+
   sim::SerialResource res_;
   IoBusParams p_;
+  FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace fmx::net

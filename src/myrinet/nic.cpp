@@ -28,6 +28,11 @@ sim::Task<void> Nic::tx_inject_program() {
   for (;;) {
     SendDescriptor d = co_await tx_sram_.pop();
     co_await eng_.delay(p_.per_packet_tx);
+    if (fault_ != nullptr) {
+      if (sim::Ps stall = fault_->tx_pacing(id_); stall > 0) {
+        co_await eng_.delay(stall);
+      }
+    }
     ++stats_.tx_packets;
     WirePacket pkt = WirePacket::make(id_, d.dst, std::move(d.payload));
     if (p_.reliable_link) {
@@ -72,6 +77,11 @@ sim::Task<void> Nic::rx_wire_program() {
   for (;;) {
     WirePacket pkt = co_await wire_in_.pop();
     co_await eng_.delay(p_.per_packet_rx);
+    if (fault_ != nullptr) {
+      if (sim::Ps stall = fault_->rx_pacing(id_); stall > 0) {
+        co_await eng_.delay(stall);
+      }
+    }
     if (!p_.hardware_crc) {
       co_await eng_.delay(static_cast<sim::Ps>(
           p_.crc_ps_per_byte * static_cast<double>(pkt.payload.size())));

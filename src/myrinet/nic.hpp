@@ -9,6 +9,7 @@
 #include <functional>
 
 #include "myrinet/fabric.hpp"
+#include "myrinet/fault_hooks.hpp"
 #include "myrinet/iobus.hpp"
 #include "myrinet/packet.hpp"
 #include "myrinet/params.hpp"
@@ -112,6 +113,23 @@ class Nic {
     return n;
   }
 
+  /// Arm (or disarm) per-NIC fault pacing; shares the cluster's injector.
+  void set_fault(FaultInjector* f) noexcept { fault_ = f; }
+
+  // --- Quiescence accessors (invariant checker) ---------------------------
+  /// Inbound SRAM slack tokens currently home. Equals sram_rx_slots when no
+  /// packet is in flight toward, buffered in, or staged inside this NIC.
+  std::size_t sram_rx_free() const noexcept {
+    return static_cast<std::size_t>(rx_slack_.available());
+  }
+  /// Send-side work not yet on the wire (descriptor queue + staged SRAM).
+  std::size_t tx_backlog() const noexcept {
+    return tx_queue_.size() + tx_sram_.size();
+  }
+  /// Receive-side packets checked but not yet DMAed to the host ring.
+  std::size_t rx_staged() const noexcept { return rx_checked_.size(); }
+  std::size_t host_ring_depth() const noexcept { return host_ring_.size(); }
+
  private:
   struct PeerTx {
     std::uint32_t next_seq = 0;
@@ -149,6 +167,7 @@ class Nic {
   sim::CondVar window_cv_;   // tx blocked on the retransmit window
   sim::CondVar ack_cv_;      // acks pending coalescing
   sim::CondVar rtx_cv_;      // retained packets exist
+  FaultInjector* fault_ = nullptr;
   Stats stats_;
 };
 

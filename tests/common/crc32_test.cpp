@@ -22,6 +22,30 @@ TEST(Crc32, KnownVectors) {
             0x414FA339u);
 }
 
+TEST(Crc32, RocksoftModelVectors) {
+  // The classic Rocksoft/zlib test battery for CRC-32/ISO-HDLC.
+  EXPECT_EQ(crc32(span_of("a")), 0xE8B7BE43u);
+  EXPECT_EQ(crc32(span_of("abc")), 0x352441C2u);
+  EXPECT_EQ(crc32(span_of("message digest")), 0x20159D7Fu);
+  EXPECT_EQ(crc32(span_of("abcdefghijklmnopqrstuvwxyz")), 0x4C2750BDu);
+  EXPECT_EQ(crc32(span_of("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuv"
+                          "wxyz0123456789")),
+            0x1FC2E6D2u);
+  EXPECT_EQ(crc32(span_of("1234567890123456789012345678901234567890123456789"
+                          "0123456789012345678901234567890")),
+            0x7CA94A72u);
+}
+
+TEST(Crc32, NonAsciiVectors) {
+  // Zero bytes and 0xFF runs are degenerate inputs where table-lookup or
+  // reflection bugs show: known values from the reference implementation.
+  const std::byte zeros[4] = {};
+  EXPECT_EQ(crc32(ByteSpan{zeros}), 0x2144DF1Cu);
+  std::byte ffs[4];
+  std::memset(ffs, 0xFF, sizeof(ffs));
+  EXPECT_EQ(crc32(ByteSpan{ffs}), 0xFFFFFFFFu);
+}
+
 TEST(Crc32, IncrementalMatchesOneShot) {
   Bytes data = pattern_bytes(7, 1000);
   auto whole = crc32(data);
@@ -30,6 +54,25 @@ TEST(Crc32, IncrementalMatchesOneShot) {
   st = crc32_update(st, ByteSpan{data}.subspan(137, 600));
   st = crc32_update(st, ByteSpan{data}.subspan(737));
   EXPECT_EQ(crc32_final(st), whole);
+}
+
+TEST(Crc32, ByteAtATimeMatchesOneShot) {
+  // The finest-grained chunking possible must agree with the one-shot CRC
+  // (this is how the NIC model could stream a packet through the checker).
+  Bytes data = pattern_bytes(13, 300);
+  std::uint32_t st = crc32_init();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    st = crc32_update(st, ByteSpan{data}.subspan(i, 1));
+  }
+  EXPECT_EQ(crc32_final(st), crc32(data));
+}
+
+TEST(Crc32, EmptyUpdateIsIdentity) {
+  Bytes data = pattern_bytes(21, 64);
+  std::uint32_t st = crc32_init();
+  st = crc32_update(st, ByteSpan{data});
+  st = crc32_update(st, ByteSpan{});  // zero-length chunk changes nothing
+  EXPECT_EQ(crc32_final(st), crc32(data));
 }
 
 TEST(Crc32, DetectsSingleBitFlip) {

@@ -1,0 +1,38 @@
+// Shared test plumbing for discrete-event simulations. The core helper runs
+// an engine to event-queue exhaustion and turns "root tasks still
+// suspended" — the engine's deadlock signal — into a readable failure
+// instead of a bare EXPECT_EQ(pending_roots(), 0).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace fmx::test {
+
+/// Drain the engine's event queue; succeed iff every root task finished.
+/// Use as: ASSERT_TRUE(run_to_exhaustion(eng)) or EXPECT_TRUE(...).
+inline ::testing::AssertionResult run_to_exhaustion(sim::Engine& eng) {
+  eng.run();
+  if (eng.pending_roots() == 0) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "DEADLOCK: event queue drained but " << eng.pending_roots()
+         << " root task(s) are still suspended on conditions that will "
+            "never fire (t=" << sim::to_us(eng.now()) << " us, "
+         << eng.events_processed()
+         << " events processed). A coroutine is waiting on a channel, "
+            "semaphore, or credit that nothing will ever provide.";
+}
+
+/// Fixture base: an engine plus the quiescent-run helper as a member so
+/// simulation tests share one spelling.
+class SimTest : public ::testing::Test {
+ protected:
+  ::testing::AssertionResult run_to_exhaustion() {
+    return fmx::test::run_to_exhaustion(eng_);
+  }
+
+  sim::Engine eng_;
+};
+
+}  // namespace fmx::test

@@ -1,0 +1,158 @@
+// Gather/scatter boundary properties: message sizes straddling the packet
+// segmentation limits — both the FM segment payload (mtu_payload minus the
+// FM packet header) and the raw NIC MTU — must reassemble byte-exact, use
+// exactly ceil(size / seg) packets, and work for any gather/scatter piece
+// split. These are the off-by-one edges where packetization bugs live.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "fm2/fm2.hpp"
+#include "tests/common/sim_fixture.hpp"
+
+namespace fmx::fm2 {
+namespace {
+
+using sim::Engine;
+using sim::Task;
+
+struct World {
+  explicit World(net::ClusterParams p, Config cfg = {}) : cluster(eng, p) {
+    for (int i = 0; i < p.n_hosts; ++i) {
+      eps.push_back(std::make_unique<Endpoint>(cluster, i, cfg));
+    }
+  }
+  Endpoint& ep(int i) { return *eps[i]; }
+
+  Engine eng;
+  net::Cluster cluster;
+  std::vector<std::unique_ptr<Endpoint>> eps;
+};
+
+// One message of exactly `size` bytes, sent as gather pieces of `piece`
+// bytes and scattered on receive in `chunk`-byte reads; verified byte-exact
+// against the out-of-band pattern.
+void round_trip(std::size_t size, std::size_t piece, std::size_t chunk) {
+  World w(net::ppro_fm2_cluster(2));
+  const std::size_t seg = w.ep(0).max_payload_per_packet();
+  const std::uint64_t tag = 7700 + size;
+  bool done = false;
+  w.ep(1).register_handler(0, [&](RecvStream& s, int) -> HandlerTask {
+    EXPECT_EQ(s.msg_bytes(), size);
+    Bytes buf(size);
+    std::size_t off = 0;
+    while (off < size) {
+      std::size_t n = std::min(chunk, size - off);
+      co_await s.receive(buf.data() + off, n);
+      off += n;
+    }
+    EXPECT_EQ(s.remaining(), 0u);
+    EXPECT_EQ(pattern_mismatch(tag, 0, ByteSpan{buf}), -1)
+        << "size " << size << " piece " << piece << " chunk " << chunk;
+    done = true;
+  });
+  w.eng.spawn([](Endpoint& ep, std::uint64_t t, std::size_t sz,
+                 std::size_t pc) -> Task<void> {
+    Bytes m = pattern_bytes(t, sz);
+    SendStream s = co_await ep.begin_message(1, sz, 0);
+    std::size_t off = 0;
+    while (off < sz) {
+      std::size_t n = std::min(pc, sz - off);
+      co_await ep.send_piece(s, ByteSpan{m}.subspan(off, n));
+      off += n;
+    }
+    co_await ep.end_message(s);
+  }(w.ep(0), tag, size, piece));
+  w.eng.spawn([](Endpoint& ep, bool& d) -> Task<void> {
+    co_await ep.poll_until([&] { return d; });
+  }(w.ep(1), done));
+  ASSERT_TRUE(fmx::test::run_to_exhaustion(w.eng));
+  ASSERT_TRUE(done) << "size " << size;
+  // Packetization is exact: ceil(size / seg) data packets, no padding
+  // packet, no missing tail.
+  const std::uint64_t want_pkts = size == 0 ? 1 : (size + seg - 1) / seg;
+  EXPECT_EQ(w.ep(0).stats().packets_sent, want_pkts) << "size " << size;
+  EXPECT_EQ(w.ep(1).stats().bytes_received, size);
+}
+
+// (base, multiplier, delta): size = multiplier * base + delta, where base
+// selects the FM segment payload or the raw NIC MTU.
+enum class Base { kSegment, kMtu };
+using BoundaryCase = std::tuple<Base, int, int>;
+
+class Fm2Boundary : public ::testing::TestWithParam<BoundaryCase> {};
+
+TEST_P(Fm2Boundary, ReassemblesByteExact) {
+  auto [base, mult, delta] = GetParam();
+  const auto params = net::ppro_fm2_cluster(2);
+  std::size_t b;
+  if (base == Base::kSegment) {
+    World probe(params);  // seg depends on header size; read it off the API
+    b = probe.ep(0).max_payload_per_packet();
+  } else {
+    b = params.nic.mtu_payload;
+  }
+  const std::size_t size =
+      static_cast<std::size_t>(static_cast<int>(b) * mult + delta);
+  // One awkward prime-ish piece/chunk split, plus a whole-message send with
+  // reads that creep one byte relative to each packet boundary — two very
+  // different composition shapes over the same boundary size.
+  round_trip(size, 617, 389);
+  round_trip(size, size, std::max<std::size_t>(1, b - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MtuEdges, Fm2Boundary,
+    ::testing::Combine(::testing::Values(Base::kSegment, Base::kMtu),
+                       ::testing::Values(1, 2),
+                       ::testing::Values(-1, 0, 1)));
+
+TEST(Fm2Boundary2, SegmentSizedPiecesLandOnPacketBoundaries) {
+  // Pieces of exactly seg bytes: every flush is a full packet and the
+  // last piece exactly fills the final one.
+  World w(net::ppro_fm2_cluster(2));
+  const std::size_t seg = w.ep(0).max_payload_per_packet();
+  round_trip(4 * seg, seg, seg);
+}
+
+TEST(Fm2Boundary2, OneByteMessage) { round_trip(1, 1, 1); }
+
+TEST(Fm2Boundary2, BoundarySweepBackToBack) {
+  // All boundary sizes through ONE endpoint pair back-to-back, so a
+  // packetization bug in message N corrupts the framing of message N+1
+  // instead of hiding in a fresh world.
+  World w(net::ppro_fm2_cluster(2));
+  const std::size_t seg = w.ep(0).max_payload_per_packet();
+  const std::size_t mtu = w.cluster.params().nic.mtu_payload;
+  std::vector<std::size_t> sizes = {1,       seg - 1,     seg,
+                                    seg + 1, 2 * seg - 1, 2 * seg,
+                                    2 * seg + 1, mtu - 1, mtu,
+                                    mtu + 1, 2 * mtu - 1, 2 * mtu + 1};
+  std::size_t seen = 0;
+  w.ep(1).register_handler(0, [&](RecvStream& s, int) -> HandlerTask {
+    EXPECT_LT(seen, sizes.size());
+    EXPECT_EQ(s.msg_bytes(), sizes[seen % sizes.size()]);
+    Bytes buf(s.msg_bytes());
+    co_await s.receive(MutByteSpan{buf});
+    EXPECT_EQ(pattern_mismatch(9000 + seen, 0, ByteSpan{buf}), -1)
+        << "message " << seen << " (" << buf.size() << " B)";
+    ++seen;
+  });
+  w.eng.spawn([](Endpoint& ep,
+                 const std::vector<std::size_t>& sz) -> Task<void> {
+    for (std::size_t i = 0; i < sz.size(); ++i) {
+      Bytes m = pattern_bytes(9000 + i, sz[i]);
+      co_await ep.send(1, 0, ByteSpan{m});
+    }
+  }(w.ep(0), sizes));
+  w.eng.spawn([](Endpoint& ep, std::size_t& n, std::size_t want)
+                  -> Task<void> {
+    co_await ep.poll_until([&] { return n == want; });
+  }(w.ep(1), seen, sizes.size()));
+  ASSERT_TRUE(fmx::test::run_to_exhaustion(w.eng));
+  EXPECT_EQ(seen, sizes.size());
+}
+
+}  // namespace
+}  // namespace fmx::fm2

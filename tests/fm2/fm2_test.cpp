@@ -5,6 +5,8 @@
 #include <memory>
 #include <vector>
 
+#include "tests/common/sim_fixture.hpp"
+
 namespace fmx::fm2 {
 namespace {
 
@@ -42,9 +44,8 @@ TEST(Fm2, BasicSendReceive) {
   w.eng.spawn([](Endpoint& ep, bool& g) -> Task<void> {
     co_await ep.poll_until([&] { return g; });
   }(w.ep(1), got));
-  w.eng.run();
+  ASSERT_TRUE(fmx::test::run_to_exhaustion(w.eng));
   EXPECT_TRUE(got);
-  EXPECT_EQ(w.eng.pending_roots(), 0);
 }
 
 TEST(Fm2, PaperHandlerExample) {
@@ -197,9 +198,8 @@ TEST(Fm2, ReceiverFlowControlLimitsExtraction) {
     }
     EXPECT_GE(extracts, 6);  // 16 KB at ~2 KB per call
   }(w.ep(1), received));
-  w.eng.run();
+  ASSERT_TRUE(fmx::test::run_to_exhaustion(w.eng));
   EXPECT_EQ(received, kMsg);
-  EXPECT_EQ(w.eng.pending_roots(), 0);
 }
 
 TEST(Fm2, UnextractedDataWithholdsCreditsAndPacesSender) {
@@ -224,9 +224,8 @@ TEST(Fm2, UnextractedDataWithholdsCreditsAndPacesSender) {
   w.eng.spawn([](Endpoint& ep, int& s) -> Task<void> {
     co_await ep.poll_until([&] { return s == 16; });
   }(w.ep(1), sent));
-  w.eng.run();
+  ASSERT_TRUE(fmx::test::run_to_exhaustion(w.eng));
   EXPECT_EQ(sent, 16);
-  EXPECT_EQ(w.eng.pending_roots(), 0);
 }
 
 TEST(Fm2, HandlerEarlyReturnSkipsRestOfMessage) {
@@ -465,9 +464,8 @@ TEST(Fm2, WholeMessageDeliveryDeadlocksBeyondCreditWindow) {
   w2.eng.spawn([](Endpoint& ep, bool& g) -> Task<void> {
     co_await ep.poll_until([&] { return g; });
   }(w2.ep(1), got2));
-  w2.eng.run();
+  ASSERT_TRUE(fmx::test::run_to_exhaustion(w2.eng));
   EXPECT_TRUE(got2);
-  EXPECT_EQ(w2.eng.pending_roots(), 0);
 }
 
 TEST(Fm2, UnregisteredHandlerDropsMessage) {
@@ -479,10 +477,9 @@ TEST(Fm2, UnregisteredHandlerDropsMessage) {
   w.eng.spawn([](Endpoint& ep) -> Task<void> {
     co_await ep.poll_until([&] { return ep.stats().msgs_received == 1; });
   }(w.ep(1)));
-  w.eng.run();
+  ASSERT_TRUE(fmx::test::run_to_exhaustion(w.eng));
   EXPECT_EQ(w.ep(1).stats().msgs_received, 1u);
   EXPECT_EQ(w.ep(1).stats().handler_starts, 0u);
-  EXPECT_EQ(w.eng.pending_roots(), 0);
 }
 
 class Fm2PropertyTest
@@ -530,9 +527,8 @@ TEST_P(Fm2PropertyTest, RandomGatherScatterIntegrity) {
   w.eng.spawn([](Endpoint& ep, int& n) -> Task<void> {
     co_await ep.poll_until([&] { return n == kMsgs; });
   }(w.ep(1), seen));
-  w.eng.run();
+  ASSERT_TRUE(fmx::test::run_to_exhaustion(w.eng));
   EXPECT_EQ(seen, kMsgs);
-  EXPECT_EQ(w.eng.pending_roots(), 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(
