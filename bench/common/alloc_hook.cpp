@@ -1,0 +1,94 @@
+// Counting replacements for the global allocation functions. See
+// alloc_hook.hpp for why this lives outside every library target.
+//
+// The simulator is single-threaded, but google-benchmark spawns helper
+// threads, so the counters are atomics with relaxed ordering (we only ever
+// read them from the measuring thread between quiescent points).
+#include "alloc_hook.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<std::uint64_t> g_count{0};
+std::atomic<std::uint64_t> g_bytes{0};
+
+void* counted_alloc(std::size_t n) {
+  g_count.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(n, std::memory_order_relaxed);
+  // operator new must never return nullptr for a zero-size request.
+  void* p = std::malloc(n ? n : 1);
+  if (!p) throw std::bad_alloc{};
+  return p;
+}
+
+void* counted_alloc_aligned(std::size_t n, std::size_t align) {
+  g_count.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(n, std::memory_order_relaxed);
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  std::size_t rounded = (n + align - 1) / align * align;
+  void* p = std::aligned_alloc(align, rounded ? rounded : align);
+  if (!p) throw std::bad_alloc{};
+  return p;
+}
+
+}  // namespace
+
+namespace fmx::bench {
+
+std::uint64_t alloc_hook_count() {
+  return g_count.load(std::memory_order_relaxed);
+}
+
+std::uint64_t alloc_hook_bytes() {
+  return g_bytes.load(std::memory_order_relaxed);
+}
+
+void alloc_hook_reset() {
+  g_count.store(0, std::memory_order_relaxed);
+  g_bytes.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace fmx::bench
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(n);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(n);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new(std::size_t n, std::align_val_t a) {
+  return counted_alloc_aligned(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return counted_alloc_aligned(n, static_cast<std::size_t>(a));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

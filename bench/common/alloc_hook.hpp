@@ -1,0 +1,25 @@
+// Process-wide heap-allocation counter for benchmark binaries.
+//
+// Linking alloc_hook.cpp into a binary replaces the global operator
+// new/delete with counting versions (backed by malloc/free). The counters
+// answer "how many heap allocations did this region of code perform" —
+// the metric the allocation-free hot-path work is judged by. The hook is
+// deliberately NOT part of any library target: only benchmark executables
+// that want the counters link the extra source file, so the simulator and
+// tests run with the stock allocator.
+#pragma once
+
+#include <cstdint>
+
+namespace fmx::bench {
+
+/// Total operator-new calls since process start (or last reset).
+std::uint64_t alloc_hook_count();
+
+/// Total bytes requested from operator new since process start (or reset).
+std::uint64_t alloc_hook_bytes();
+
+/// Zero both counters.
+void alloc_hook_reset();
+
+}  // namespace fmx::bench

@@ -38,6 +38,8 @@ Measurement fm1_bandwidth(const net::ClusterParams& cp, std::size_t msg_size,
                     sim::to_seconds(t_end) / 1e6;
   m.copies_send = tx.host().ledger().diff(tx_before).copies();
   m.copies_recv = rx.host().ledger().diff(rx_before).copies();
+  m.allocs_send = tx.host().ledger().diff(tx_before).allocs();
+  m.allocs_recv = rx.host().ledger().diff(rx_before).allocs();
   return m;
 }
 
@@ -104,6 +106,8 @@ Measurement fm2_bandwidth(const net::ClusterParams& cp, std::size_t msg_size,
                     sim::to_seconds(t_end) / 1e6;
   m.copies_send = tx.host().ledger().diff(tx_before).copies();
   m.copies_recv = rx.host().ledger().diff(rx_before).copies();
+  m.allocs_send = tx.host().ledger().diff(tx_before).allocs();
+  m.allocs_recv = rx.host().ledger().diff(rx_before).allocs();
   return m;
 }
 

@@ -21,6 +21,10 @@ struct Measurement {
   double latency_us = 0;      // one-way, when measured
   std::uint64_t copies_recv = 0;
   std::uint64_t copies_send = 0;
+  // Buffer-pool misses (fresh data-path heap allocations) during the
+  // measured region; zero once the pool is warm.
+  std::uint64_t allocs_send = 0;
+  std::uint64_t allocs_recv = 0;
 };
 
 /// Raw FM 1.x streaming bandwidth for messages of `msg_size` bytes.

@@ -25,7 +25,8 @@ int main() {
   };
 
   // FM 1.x (§3, Figure 3b)
-  double fm1_peak = fm1_bandwidth(sparc, 2048).bandwidth_mbs;
+  Measurement fm1_m = fm1_bandwidth(sparc, 2048);
+  double fm1_peak = fm1_m.bandwidth_mbs;
   double fm1_lat = fm1_latency_us(sparc, 16);
   double fm1_n12 = half_power_point(
       [&](std::size_t s) { return fm1_bandwidth(sparc, s).bandwidth_mbs; },
@@ -35,7 +36,8 @@ int main() {
   row("FM 1.x N1/2", "54 B", fm1_n12, "B", 40, 70);
 
   // FM 2.x (§4.2, Figure 5)
-  double fm2_peak = fm2_bandwidth(ppro, 8192).bandwidth_mbs;
+  Measurement fm2_m = fm2_bandwidth(ppro, 8192);
+  double fm2_peak = fm2_m.bandwidth_mbs;
   double fm2_lat = fm2_latency_us(ppro, 16);
   double fm2_n12 = half_power_point(
       [&](std::size_t s) { return fm2_bandwidth(ppro, s).bandwidth_mbs; },
@@ -62,6 +64,23 @@ int main() {
   row("MPI-FM2 peak BW", "70 MB/s", mpi2_2k, "MB/s", 62, 78);
   row("MPI-FM2 latency", "17 us", mpi_latency_us(MpiGen::kFm2, ppro, 16),
       "us", 12, 20);
+
+  // Data-path cost per message during the 200-message bandwidth streams.
+  // Copies are simulated memcpy charges; allocs are buffer-pool misses
+  // (fresh heap allocations). Allocs should drop to ~0 once the pool is
+  // warm — a nonzero steady-state value means the pool is being bypassed.
+  std::puts("\n=== Per-message data-path costs (bandwidth streams) ===\n");
+  std::printf("%-22s %12s %12s %12s %12s\n", "layer", "copies/msg tx",
+              "copies/msg rx", "allocs/msg tx", "allocs/msg rx");
+  auto cost_row = [](const char* layer, const Measurement& m, int n_msgs) {
+    std::printf("%-22s %12.2f %12.2f %12.2f %12.2f\n", layer,
+                static_cast<double>(m.copies_send) / n_msgs,
+                static_cast<double>(m.copies_recv) / n_msgs,
+                static_cast<double>(m.allocs_send) / n_msgs,
+                static_cast<double>(m.allocs_recv) / n_msgs);
+  };
+  cost_row("FM 1.x @2KB", fm1_m, 200);
+  cost_row("FM 2.x @8KB", fm2_m, 200);
 
   std::puts("\nbands are documented in EXPERIMENTS.md; absolute numbers are\n"
             "calibrated, shapes and ratios are emergent from protocol code.");

@@ -4,6 +4,7 @@
 // substrate every experiment runs on.
 #include <benchmark/benchmark.h>
 
+#include "common/buffer_pool.hpp"
 #include "common/crc32.hpp"
 #include "fm2/fm2.hpp"
 #include "sim/channel.hpp"
@@ -58,6 +59,63 @@ void BM_Crc32(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_Crc32)->Arg(64)->Arg(1024)->Arg(16384);
+
+// The reference bytewise CRC, kept as the baseline the slice-by-8 fast path
+// in crc32.cpp is measured against (and as its correctness oracle).
+void BM_Crc32Bytewise(benchmark::State& state) {
+  Bytes data = pattern_bytes(1, state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        detail::crc32_update_bytewise(0xFFFFFFFFu, ByteSpan{data}));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32Bytewise)->Arg(64)->Arg(1024)->Arg(16384);
+
+// Acquire/release cycle against a warm pool: every acquire is a hit, no
+// heap traffic. Compare with BM_BufferFresh below for the saved cost.
+void BM_BufferPoolAcquire(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  BufferPool pool;
+  pool.release(pool.acquire(n));  // warm the size class
+  for (auto _ : state) {
+    Bytes b = pool.acquire(n);
+    benchmark::DoNotOptimize(b.data());
+    pool.release(std::move(b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferPoolAcquire)->Arg(128)->Arg(4096);
+
+// What each packet used to cost: a fresh heap vector, zero-filled, freed at
+// end of scope.
+void BM_BufferFresh(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  for (auto _ : state) {
+    Bytes b(n);
+    benchmark::DoNotOptimize(b.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferFresh)->Arg(128)->Arg(4096);
+
+// Cost of spawning a root coroutine and driving it to completion — the
+// per-message overhead of handler dispatch (frames come from the pool after
+// the first iteration).
+void BM_SpawnDrive(benchmark::State& state) {
+  sim::Engine eng;
+  for (auto _ : state) {
+    int side_effect = 0;
+    eng.spawn([](int& out) -> sim::Task<void> {
+      out = 1;
+      co_return;
+    }(side_effect));
+    eng.run();
+    benchmark::DoNotOptimize(side_effect);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpawnDrive);
 
 void BM_PatternBytes(benchmark::State& state) {
   for (auto _ : state) {

@@ -1,0 +1,122 @@
+// Wall-clock throughput of the simulation substrate itself, measured on the
+// real workload every experiment runs: a full FM 2.x message stream between
+// two endpoints (handler dispatch, packetisation, credits, NIC programs,
+// link events — everything).
+//
+// Reports three numbers and writes them to BENCH_substrate.json:
+//   - events_per_sec:     simulator events retired per wall-clock second
+//   - sim_bytes_per_sec:  simulated payload bytes streamed per wall second
+//     (how fast we chew through a bandwidth curve, the practical metric)
+//   - allocs_per_event:   heap allocations per event in steady state,
+//     counted by the operator-new hook in alloc_hook.cpp. The frame pool
+//     and buffer pool exist to make this ~0; a warmup stream runs first so
+//     one-time pool growth is excluded.
+//
+// Usage: substrate_throughput [msg_size] [n_msgs] [out.json]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "alloc_hook.hpp"
+#include "bench_util.hpp"
+#include "sim/engine.hpp"
+
+using namespace fmx;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+// Streams `n` messages of `size` bytes from tx to rx and runs the engine to
+// quiescence. Returns events retired during the run.
+std::uint64_t stream(sim::Engine& eng, fm2::Endpoint& tx, fm2::Endpoint& rx,
+                     int& got, ByteSpan payload, int n) {
+  got = 0;
+  eng.spawn([](fm2::Endpoint& ep, ByteSpan msg, int count) -> sim::Task<void> {
+    for (int i = 0; i < count; ++i) co_await ep.send(1, 0, msg);
+  }(tx, payload, n));
+  eng.spawn([](fm2::Endpoint& ep, int& g, int count) -> sim::Task<void> {
+    co_await ep.poll_until([&] { return g == count; });
+  }(rx, got, n));
+  return eng.run();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t msg_size = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                        : 4096;
+  const int n_msgs = argc > 2 ? std::atoi(argv[2]) : 2000;
+  const char* out_path = argc > 3 ? argv[3] : "BENCH_substrate.json";
+  const int warmup_msgs = 200;
+
+  sim::Engine eng;
+  net::Cluster cluster(eng, net::ppro_fm2_cluster(2));
+  fm2::Endpoint tx(cluster, 0), rx(cluster, 1);
+  int got = 0;
+  Bytes sink(msg_size);
+  rx.register_handler(0, [&](fm2::RecvStream& s, int) -> fm2::HandlerTask {
+    if (s.msg_bytes() > 0) co_await s.receive(sink.data(), s.msg_bytes());
+    ++got;
+  });
+  Bytes msg = pattern_bytes(3, msg_size);
+
+  // Warmup: grow the event queue, frame pool, buffer pool, and channel rings
+  // to their steady-state footprint before anything is measured.
+  stream(eng, tx, rx, got, ByteSpan{msg}, warmup_msgs);
+
+  const sim::Ps sim_start = eng.now();
+  bench::alloc_hook_reset();
+  const auto wall_start = Clock::now();
+  const std::uint64_t events = stream(eng, tx, rx, got, ByteSpan{msg}, n_msgs);
+  const auto wall_end = Clock::now();
+  const std::uint64_t allocs = bench::alloc_hook_count();
+  const std::uint64_t alloc_bytes = bench::alloc_hook_bytes();
+
+  const double wall_s =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  const double sim_s = sim::to_seconds(eng.now() - sim_start);
+  const double payload_bytes = static_cast<double>(msg_size) * n_msgs;
+  const double events_per_sec = events / wall_s;
+  const double sim_bytes_per_sec = payload_bytes / wall_s;
+  const double allocs_per_event = static_cast<double>(allocs) / events;
+
+  std::printf("FM 2.x stream: %d msgs x %zu B, %llu events\n", n_msgs,
+              msg_size, static_cast<unsigned long long>(events));
+  std::printf("  wall time          %.3f s\n", wall_s);
+  std::printf("  simulated time     %.6f s\n", sim_s);
+  std::printf("  events/sec (wall)  %.3g\n", events_per_sec);
+  std::printf("  sim bytes/sec      %.3g (wall-clock rate of simulated"
+              " payload)\n", sim_bytes_per_sec);
+  std::printf("  allocs/event       %.6f (%llu allocs, %llu bytes)\n",
+              allocs_per_event, static_cast<unsigned long long>(allocs),
+              static_cast<unsigned long long>(alloc_bytes));
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (!f) {
+    std::perror("fopen");
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"workload\": \"fm2_ping_stream\",\n"
+               "  \"msg_size\": %zu,\n"
+               "  \"n_msgs\": %d,\n"
+               "  \"events\": %llu,\n"
+               "  \"wall_seconds\": %.6f,\n"
+               "  \"sim_seconds\": %.9f,\n"
+               "  \"events_per_sec\": %.1f,\n"
+               "  \"sim_bytes_per_sec\": %.1f,\n"
+               "  \"allocs\": %llu,\n"
+               "  \"alloc_bytes\": %llu,\n"
+               "  \"allocs_per_event\": %.6f\n"
+               "}\n",
+               msg_size, n_msgs, static_cast<unsigned long long>(events),
+               wall_s, sim_s, events_per_sec, sim_bytes_per_sec,
+               static_cast<unsigned long long>(allocs),
+               static_cast<unsigned long long>(alloc_bytes),
+               allocs_per_event);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Benchmark smoke check: catch large substrate performance regressions.
+
+Runs `substrate_throughput` briefly and compares wall-clock events/sec
+against the committed baseline (BENCH_substrate.json at the repo root).
+Fails if throughput dropped by more than --factor (default 2x), or if the
+steady-state allocation count per event regressed above --max-allocs
+(default 0.01 — the whole point of the pooled hot path is ~0).
+
+Wall-clock numbers are machine-dependent, so the gate is deliberately
+loose: it catches "someone reintroduced a per-event allocation or an
+accidental O(n) queue", not single-digit-percent noise.
+
+Usage:
+  scripts/bench_check.py --binary build/bench/substrate_throughput \
+      [--baseline BENCH_substrate.json] [--factor 2.0] [--max-allocs 0.01]
+
+Exit status: 0 ok, 1 regression, 2 usage/environment error.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--binary", required=True,
+                    help="path to the substrate_throughput executable")
+    ap.add_argument("--baseline", default="BENCH_substrate.json",
+                    help="committed baseline JSON (default: %(default)s)")
+    ap.add_argument("--factor", type=float, default=2.0,
+                    help="max tolerated slowdown vs baseline "
+                         "(default: %(default)s)")
+    ap.add_argument("--max-allocs", type=float, default=0.01,
+                    help="max allocs/event before failing "
+                         "(default: %(default)s)")
+    ap.add_argument("--msgs", type=int, default=500,
+                    help="messages to stream (kept short for the smoke "
+                         "gate; default: %(default)s)")
+    args = ap.parse_args()
+
+    if not os.path.exists(args.baseline):
+        print(f"bench_check: baseline {args.baseline!r} not found",
+              file=sys.stderr)
+        return 2
+    with open(args.baseline) as f:
+        base = json.load(f)
+
+    out_json = os.path.join(tempfile.mkdtemp(prefix="bench_check_"),
+                            "current.json")
+    cmd = [args.binary, str(base.get("msg_size", 4096)), str(args.msgs),
+           out_json]
+    try:
+        subprocess.run(cmd, check=True, stdout=subprocess.PIPE)
+    except (OSError, subprocess.CalledProcessError) as e:
+        print(f"bench_check: failed to run {cmd}: {e}", file=sys.stderr)
+        return 2
+    with open(out_json) as f:
+        cur = json.load(f)
+
+    base_eps = base["events_per_sec"]
+    cur_eps = cur["events_per_sec"]
+    allocs = cur["allocs_per_event"]
+    floor = base_eps / args.factor
+
+    print(f"bench_check: events/sec {cur_eps:,.0f} "
+          f"(baseline {base_eps:,.0f}, floor {floor:,.0f}); "
+          f"allocs/event {allocs:.6f} (max {args.max_allocs})")
+
+    ok = True
+    if cur_eps < floor:
+        print(f"bench_check: REGRESSION: events/sec below "
+              f"baseline/{args.factor:g}", file=sys.stderr)
+        ok = False
+    if allocs > args.max_allocs:
+        print("bench_check: REGRESSION: steady-state allocations returned "
+              "to the event/packet hot path", file=sys.stderr)
+        ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+#include "common/buffer_pool.hpp"
+
+#include <bit>
+#include <utility>
+
+namespace fmx {
+
+// Smallest class whose buffers are guaranteed to hold n bytes.
+std::size_t BufferPool::class_for_request(std::size_t n) noexcept {
+  if (n <= (std::size_t{1} << kMinClassLog2)) return 0;
+  std::size_t log2 = std::bit_width(n - 1);  // ceil(log2(n))
+  return log2 > kMaxClassLog2 ? kClasses : log2 - kMinClassLog2;
+}
+
+// Largest class c with 2^(c+kMin) <= cap: a buffer parked in class c can
+// serve any request routed to class c by class_for_request.
+std::size_t BufferPool::class_for_capacity(std::size_t cap) noexcept {
+  std::size_t log2 = std::bit_width(cap) - 1;  // floor(log2(cap))
+  if (log2 < kMinClassLog2) return kClasses;   // too small to bother pooling
+  if (log2 > kMaxClassLog2) log2 = kMaxClassLog2;
+  return log2 - kMinClassLog2;
+}
+
+Bytes BufferPool::acquire(std::size_t n, bool* fresh) {
+  ++stats_.acquires;
+  if (++stats_.outstanding > stats_.outstanding_high) {
+    stats_.outstanding_high = stats_.outstanding;
+  }
+  std::size_t cls = class_for_request(n);
+  if (cls < kClasses && !free_[cls].empty()) {
+    Bytes b = std::move(free_[cls].back());
+    free_[cls].pop_back();
+    --stats_.free_buffers;
+    ++stats_.pool_hits;
+    if (fresh != nullptr) *fresh = false;
+    b.resize(n);  // capacity >= 2^(cls+kMin) >= n: never reallocates
+    return b;
+  }
+  ++stats_.fresh_allocs;
+  if (fresh != nullptr) *fresh = true;
+  Bytes b;
+  // Round fresh allocations up to the class size so the buffer lands back
+  // in the same class on release regardless of n.
+  if (cls < kClasses) b.reserve(std::size_t{1} << (cls + kMinClassLog2));
+  b.resize(n);
+  return b;
+}
+
+void BufferPool::release(Bytes&& b) {
+  if (b.capacity() == 0) return;
+  ++stats_.releases;
+  if (stats_.outstanding > 0) --stats_.outstanding;
+  std::size_t cls = class_for_capacity(b.capacity());
+  if (cls >= kClasses || free_[cls].size() >= kRetainPerClass) return;
+  free_[cls].push_back(std::move(b));
+  if (++stats_.free_buffers > stats_.free_high) {
+    stats_.free_high = stats_.free_buffers;
+  }
+}
+
+}  // namespace fmx

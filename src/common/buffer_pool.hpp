@@ -1,0 +1,69 @@
+// Recycling pool for packet-sized byte buffers. The simulated data path
+// creates and destroys a Bytes per packet (FM frame assembly, wire
+// transit, NIC receive staging); without pooling every packet pays a
+// malloc/free pair even in steady state. The pool keeps freed buffers in
+// power-of-two capacity classes and hands them back on acquire, so a
+// steady stream reaches its high-water mark and then stops touching the
+// allocator entirely.
+//
+// Buffers are returned with size() == n but are NOT zeroed: every producer
+// on the data path overwrites the full payload before the buffer reaches
+// the wire (FM's gather/stream copies fill byte 0..n-1, headers are
+// memcpy'd over the first kHdr bytes). Callers that need cleared memory
+// must clear it themselves.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/buffer.hpp"
+
+namespace fmx {
+
+class BufferPool {
+ public:
+  struct Stats {
+    std::uint64_t acquires = 0;      // total acquire() calls
+    std::uint64_t pool_hits = 0;     // served from a free list
+    std::uint64_t fresh_allocs = 0;  // had to allocate a new buffer
+    std::uint64_t releases = 0;      // total release() calls (non-empty)
+    std::uint64_t outstanding = 0;   // acquired and not yet released
+    std::uint64_t outstanding_high = 0;
+    std::uint64_t free_buffers = 0;  // parked in free lists right now
+    std::uint64_t free_high = 0;
+  };
+
+  BufferPool() = default;
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Get a buffer with size() == n. Reuses a pooled buffer whose capacity
+  /// covers n when one is available. If `fresh` is non-null it is set to
+  /// whether the buffer had to be newly allocated (pool miss).
+  Bytes acquire(std::size_t n, bool* fresh = nullptr);
+
+  /// Return a buffer to the pool. Buffers with no capacity are ignored;
+  /// classes already holding kRetainPerClass buffers drop the excess back
+  /// to the allocator so a burst can't pin memory forever.
+  void release(Bytes&& b);
+
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  // Capacity classes 2^6 (64 B) .. 2^20 (1 MiB); anything larger is clamped
+  // into the top class (its capacity still covers any request routed there).
+  static constexpr std::size_t kMinClassLog2 = 6;
+  static constexpr std::size_t kMaxClassLog2 = 20;
+  static constexpr std::size_t kClasses = kMaxClassLog2 - kMinClassLog2 + 1;
+  static constexpr std::size_t kRetainPerClass = 64;
+
+  static std::size_t class_for_request(std::size_t n) noexcept;
+  static std::size_t class_for_capacity(std::size_t cap) noexcept;
+
+  std::array<std::vector<Bytes>, kClasses> free_;
+  Stats stats_;
+};
+
+}  // namespace fmx

@@ -13,6 +13,9 @@ namespace fmx {
 /// buffer; the (seed, data) overload allows chunked computation:
 ///   crc = crc32_update(crc32_init(), chunk1); crc = crc32_update(crc, chunk2);
 ///   value = crc32_final(crc);
+/// The implementation is slice-by-8 (eight table lookups advance the state
+/// a full 8-byte word) with a bytewise tail; chunk boundaries do not affect
+/// the result.
 std::uint32_t crc32(std::span<const std::byte> data) noexcept;
 
 constexpr std::uint32_t crc32_init() noexcept { return 0xFFFFFFFFu; }
@@ -21,5 +24,12 @@ std::uint32_t crc32_update(std::uint32_t state,
 constexpr std::uint32_t crc32_final(std::uint32_t state) noexcept {
   return state ^ 0xFFFFFFFFu;
 }
+
+namespace detail {
+/// One-byte-at-a-time reference implementation; kept for tests (slice-by-8
+/// must agree on every input) and as the tail loop of crc32_update.
+std::uint32_t crc32_update_bytewise(std::uint32_t state,
+                                    std::span<const std::byte> data) noexcept;
+}  // namespace detail
 
 }  // namespace fmx

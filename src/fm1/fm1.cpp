@@ -65,7 +65,9 @@ sim::Task<void> Endpoint::send_packet(int dest, PacketType type,
   h.credits = take_piggyback(dest);
   h.msg_seq = msg_seq;
 
-  Bytes pkt(sizeof(PacketHeader) + chunk.size());
+  bool fresh = false;
+  Bytes pkt = pool().acquire(sizeof(PacketHeader) + chunk.size(), &fresh);
+  if (fresh) node_.host().ledger().note_alloc(pkt.size());
   std::memcpy(pkt.data(), &h, sizeof(h));
   if (!chunk.empty()) {
     std::memcpy(pkt.data() + sizeof(h), chunk.data(), chunk.size());
@@ -120,6 +122,7 @@ sim::Task<void> Endpoint::acquire_credit(int dest) {
         std::memcpy(p->payload.data(), &h, sizeof(h));
       }
       if (static_cast<PacketType>(h.type) == PacketType::kCredit) {
+        pool().release(std::move(p->payload));
         continue;  // pure control packet, fully consumed
       }
       if (pending_.size() >= cfg_.pending_limit) {
@@ -191,9 +194,11 @@ sim::Task<void> Endpoint::maybe_return_credits(int dest) {
   PacketHeader h;
   h.type = static_cast<std::uint16_t>(PacketType::kCredit);
   h.credits = give;
-  Bytes pkt(sizeof(PacketHeader));
-  std::memcpy(pkt.data(), &h, sizeof(h));
+  bool fresh = false;
+  Bytes pkt = pool().acquire(sizeof(PacketHeader), &fresh);
   auto& host = node_.host();
+  if (fresh) host.ledger().note_alloc(pkt.size());
+  std::memcpy(pkt.data(), &h, sizeof(h));
   host.charge(Cost::kFlowCtl, kHeaderBuildCost);
   if (cfg_.pio_send) {
     host.note(Cost::kPio, node_.bus().pio_time(pkt.size()));
@@ -223,10 +228,12 @@ void Endpoint::deliver_data(int src, const PacketHeader& h, ByteSpan chunk,
   // Multi-packet message: FM 1.x must reassemble into a contiguous staging
   // buffer before it can present the message to the handler.
   std::uint64_t key = (static_cast<std::uint64_t>(src) << 32) | h.msg_seq;
-  auto [it, fresh] = partials_.try_emplace(key);
+  auto [it, inserted] = partials_.try_emplace(key);
   Partial& part = it->second;
-  if (fresh) {
-    part.staging.resize(h.msg_bytes);
+  if (inserted) {
+    bool fresh = false;
+    part.staging = pool().acquire(h.msg_bytes, &fresh);
+    if (fresh) host.ledger().note_alloc(h.msg_bytes);
     part.head = h;
     host.charge(Cost::kBufferMgmt, kStagingAllocCost);
   }
@@ -242,6 +249,7 @@ void Endpoint::deliver_data(int src, const PacketHeader& h, ByteSpan chunk,
     if (auto& fn = handlers_.at(part.head.handler)) {
       fn(src, ByteSpan{part.staging});
     }
+    pool().release(std::move(part.staging));
     partials_.erase(it);
     ++*completed;
   }
@@ -256,11 +264,13 @@ void Endpoint::process_packet(net::RxPacket&& pkt, int* completed) {
     credits_[pkt.src] += h.credits;
   }
   if (static_cast<PacketType>(h.type) == PacketType::kCredit) {
+    pool().release(std::move(pkt.payload));
     return;  // control only
   }
   ByteSpan chunk = ByteSpan{pkt.payload}.subspan(sizeof(PacketHeader));
   deliver_data(pkt.src, h, chunk, completed);
   slot_freed(pkt.src);
+  pool().release(std::move(pkt.payload));
 }
 
 sim::Task<int> Endpoint::extract() {
@@ -269,13 +279,13 @@ sim::Task<int> Endpoint::extract() {
   int completed = 0;
   // Packets parked by a credit-hungry sender come first (they are older).
   while (!pending_.empty()) {
-    net::RxPacket pkt = std::move(pending_.front());
-    pending_.pop_front();
+    net::RxPacket pkt = pending_.take_front();
     // Slot already freed when parked; don't free twice.
     PacketHeader h = wire::parse_header(pkt.payload);
     host.charge(Cost::kHeader, kHeaderParseCost);
     ByteSpan chunk = ByteSpan{pkt.payload}.subspan(sizeof(PacketHeader));
     deliver_data(pkt.src, h, chunk, &completed);
+    pool().release(std::move(pkt.payload));
   }
   int processed = 0;
   while (auto p = node_.nic().host_ring().try_pop()) {

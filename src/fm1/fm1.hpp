@@ -13,15 +13,16 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "common/buffer.hpp"
+#include "common/buffer_pool.hpp"
 #include "common/fmwire.hpp"
 #include "myrinet/node.hpp"
+#include "sim/ring.hpp"
 #include "sim/sync.hpp"
 
 namespace fmx::fm1 {
@@ -120,6 +121,8 @@ class Endpoint {
   std::uint16_t take_piggyback(int dest);
   void slot_freed(int src);
   sim::Task<void> maybe_return_credits(int dest);
+  /// Cluster-wide packet-buffer pool (owned by the fabric).
+  BufferPool& pool() noexcept { return cluster_.fabric().pool(); }
 
   net::Cluster& cluster_;
   net::Node& node_;
@@ -131,7 +134,7 @@ class Endpoint {
   std::vector<int> freed_;          // receive slots freed, owed to peer
   std::vector<std::uint32_t> next_msg_seq_;
   std::unordered_map<std::uint64_t, Partial> partials_;  // key: src<<32|seq
-  std::deque<net::RxPacket> pending_;  // parked while hunting for credits
+  sim::RingQueue<net::RxPacket> pending_;  // parked while hunting for credits
   sim::CondVar credit_cv_;
   Stats stats_;
 };

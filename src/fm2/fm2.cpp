@@ -44,6 +44,7 @@ void RecvStream::feed(net::RxPacket pkt) {
   std::size_t data = pkt.payload.size() - kHdr;
   fed_ += data;
   if (data == 0) {
+    ep_->pool().release(std::move(pkt.payload));
     ep_->slot_freed(src_);  // header-only packet: slot free immediately
     return;
   }
@@ -72,6 +73,7 @@ bool RecvStream::try_fulfill() {
     consumed_ += take;
     queued_ -= take;
     if (head_off_ == front.payload.size()) {
+      ep_->pool().release(std::move(front.payload));
       q_.pop_front();
       head_off_ = 0;
       ep_->slot_freed(src_);  // packet fully consumed: credit goes home
@@ -89,6 +91,7 @@ void RecvStream::discard_all_queued() {
     consumed_ += avail;
     queued_ -= avail;
     host.charge(Cost::kBufferMgmt, kSkipPerPacketCost);
+    ep_->pool().release(std::move(front.payload));
     q_.pop_front();
     head_off_ = 0;
     ep_->slot_freed(src_);
@@ -151,7 +154,9 @@ sim::Task<SendStream> Endpoint::begin_message(int dest, std::size_t size,
   host.charge(Cost::kCall, host.params().call_overhead / 2);
   SendStream s(dest, handler, static_cast<std::uint32_t>(size),
                next_msg_seq_[dest]++);
-  s.pkt_.resize(kHdr + std::min(seg_, size));
+  bool fresh = false;
+  s.pkt_ = pool().acquire(kHdr + std::min(seg_, size), &fresh);
+  if (fresh) host.ledger().note_alloc(s.pkt_.size());
   co_await host.sync();
   co_return s;
 }
@@ -211,9 +216,13 @@ sim::Task<void> Endpoint::flush_packet(SendStream& s, bool last) {
   Bytes out = std::move(s.pkt_);
   s.fill_ = 0;
   if (!last) {
+    // Next packet under assembly comes from the pool un-zeroed: send_piece
+    // fills every payload byte before the next flush stores the header.
     std::size_t next_payload =
         std::min(seg_, static_cast<std::size_t>(s.total_) - s.sent_);
-    s.pkt_.assign(kHdr + next_payload, std::byte{0});
+    bool fresh = false;
+    s.pkt_ = pool().acquire(kHdr + next_payload, &fresh);
+    if (fresh) host.ledger().note_alloc(s.pkt_.size());
   }
   if (cfg_.pio_send) {
     host.note(Cost::kPio, node_.bus().pio_time(out.size()));
@@ -246,7 +255,10 @@ sim::Task<void> Endpoint::acquire_credit(int dest) {
       ++drained;
       apply_credits_and_strip(*p);
       PacketHeader h = wire::parse_header(p->payload);
-      if (static_cast<PacketType>(h.type) == PacketType::kCredit) continue;
+      if (static_cast<PacketType>(h.type) == PacketType::kCredit) {
+        pool().release(std::move(p->payload));
+        continue;
+      }
       if (pending_.size() >= cfg_.pending_limit) {
         throw std::runtime_error("FM2: pending buffer overflow");
       }
@@ -271,9 +283,11 @@ sim::Task<void> Endpoint::maybe_return_credits(int dest) {
   PacketHeader h;
   h.type = static_cast<std::uint16_t>(PacketType::kCredit);
   h.credits = give;
-  Bytes pkt(kHdr);
-  wire::store_header(MutByteSpan{pkt}, h);
   auto& host = node_.host();
+  bool fresh = false;
+  Bytes pkt = pool().acquire(kHdr, &fresh);
+  if (fresh) host.ledger().note_alloc(pkt.size());
+  wire::store_header(MutByteSpan{pkt}, h);
   host.charge(Cost::kFlowCtl, kHeaderBuildCost);
   co_await host.sync();
   co_await node_.nic().enqueue(
@@ -297,8 +311,13 @@ void Endpoint::start_message(SrcState& st, int src, const PacketHeader& h) {
   if (h.pkt_index != 0) {
     throw std::runtime_error("FM2: message began mid-stream (order breach)");
   }
-  st.current = std::make_unique<MsgContext>(this, src, h.msg_bytes, h.msg_seq,
-                                            h.handler);
+  if (st.spare) {
+    st.current = std::move(st.spare);
+    st.current->reset(h.msg_bytes, h.msg_seq, h.handler);
+  } else {
+    st.current = std::make_unique<MsgContext>(this, src, h.msg_bytes,
+                                              h.msg_seq, h.handler);
+  }
   auto& fn = handlers_.at(h.handler);
   if (!fn) {
     // No handler registered: consume-and-drop semantics.
@@ -357,10 +376,9 @@ void Endpoint::pump(SrcState& st, int src, int* completed) {
     ++*completed;
     ++stats_.msgs_received;
     stats_.bytes_received += sstr.msg_bytes_;
-    st.current.reset();
+    st.spare = std::move(st.current);
     while (!st.backlog.empty() && !st.current) {
-      net::RxPacket pkt = std::move(st.backlog.front());
-      st.backlog.pop_front();
+      net::RxPacket pkt = st.backlog.take_front();
       PacketHeader h = wire::parse_header(pkt.payload);
       start_message(st, src, h);
       st.current->stream.feed(std::move(pkt));
@@ -370,8 +388,7 @@ void Endpoint::pump(SrcState& st, int src, int* completed) {
       while (!st.backlog.empty()) {
         PacketHeader h = wire::parse_header(st.backlog.front().payload);
         if (h.msg_seq != st.current->stream.seq_) break;
-        st.current->stream.feed(std::move(st.backlog.front()));
-        st.backlog.pop_front();
+        st.current->stream.feed(st.backlog.take_front());
       }
       continue;  // pump the new message
     }
@@ -384,7 +401,10 @@ void Endpoint::ingest(net::RxPacket&& pkt, int* completed) {
   host.charge(Cost::kHeader, kHeaderParseCost);
   apply_credits_and_strip(pkt);
   PacketHeader h = wire::parse_header(pkt.payload);
-  if (static_cast<PacketType>(h.type) == PacketType::kCredit) return;
+  if (static_cast<PacketType>(h.type) == PacketType::kCredit) {
+    pool().release(std::move(pkt.payload));
+    return;
+  }
 
   int src = pkt.src;
   SrcState& st = src_state_[src];
@@ -413,8 +433,7 @@ sim::Task<int> Endpoint::extract(std::size_t budget) {
 
   int processed = 0;
   while (!pending_.empty() && budget > 0) {
-    net::RxPacket pkt = std::move(pending_.front());
-    pending_.pop_front();
+    net::RxPacket pkt = pending_.take_front();
     charge_budget(pkt.payload.size() - kHdr);
     ingest(std::move(pkt), &completed);
     ++processed;
@@ -435,8 +454,7 @@ sim::Task<int> Endpoint::extract(std::size_t budget) {
     co_await maybe_return_credits(peer);
   }
   while (!deferred_.empty()) {
-    auto op = std::move(deferred_.front());
-    deferred_.pop_front();
+    auto op = deferred_.take_front();
     co_await op();
   }
   co_return completed;

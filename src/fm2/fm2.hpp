@@ -17,15 +17,17 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "common/buffer.hpp"
+#include "common/buffer_pool.hpp"
 #include "common/fmwire.hpp"
 #include "myrinet/node.hpp"
+#include "sim/frame_pool.hpp"
+#include "sim/ring.hpp"
 #include "sim/sync.hpp"
 
 namespace fmx::fm2 {
@@ -41,7 +43,9 @@ class RecvStream;
 /// RecvStream::receive/skip. One instance per incoming message.
 class [[nodiscard]] HandlerTask {
  public:
-  struct promise_type {
+  // One frame per incoming message; pooled so a message stream doesn't pay
+  // an allocation per handler start.
+  struct promise_type : sim::PooledFrame {
     HandlerTask get_return_object() {
       return HandlerTask{
           std::coroutine_handle<promise_type>::from_promise(*this)};
@@ -127,6 +131,17 @@ class RecvStream {
   bool try_fulfill();               // move bytes into the open request
   void discard_all_queued();        // skip-mode drain
 
+  /// Re-arm a retired stream for the next message from the same source,
+  /// keeping q_'s ring storage so steady-state streams never reallocate it.
+  void reset(std::uint32_t msg_bytes, std::uint32_t seq) noexcept {
+    msg_bytes_ = msg_bytes;
+    seq_ = seq;
+    consumed_ = fed_ = queued_ = 0;
+    head_off_ = 0;
+    req_.reset();
+    waiting_ = {};
+  }
+
   Endpoint* ep_;
   int src_;
   std::uint32_t msg_bytes_;
@@ -134,7 +149,7 @@ class RecvStream {
   std::size_t consumed_ = 0;  // handler-consumed + skipped bytes
   std::size_t fed_ = 0;       // message bytes that have been fed
   std::size_t queued_ = 0;    // fed - consumed (bytes sitting in q_)
-  std::deque<net::RxPacket> q_;
+  sim::RingQueue<net::RxPacket> q_;
   std::size_t head_off_ = 0;  // consumed offset within q_.front() payload
   std::optional<Request> req_;
   std::coroutine_handle<> waiting_{};
@@ -264,6 +279,14 @@ class Endpoint {
     MsgContext(Endpoint* ep, int src, std::uint32_t bytes, std::uint32_t seq,
                HandlerId handler)
         : stream(ep, src, bytes, seq), handler_id(handler) {}
+    /// Recycle for the next message (same endpoint/source). Dropping the
+    /// old task returns its frame to the coroutine-frame pool.
+    void reset(std::uint32_t bytes, std::uint32_t seq, HandlerId handler) {
+      stream.reset(bytes, seq);
+      task = HandlerTask{};
+      handler_id = handler;
+      skip_rest = false;
+    }
     RecvStream stream;
     HandlerTask task;
     HandlerId handler_id;
@@ -271,7 +294,11 @@ class Endpoint {
   };
   struct SrcState {
     std::unique_ptr<MsgContext> current;
-    std::deque<net::RxPacket> backlog;  // packets of subsequent messages
+    // Most recently retired context, kept so a message stream reuses one
+    // MsgContext (and its stream's ring storage) instead of allocating one
+    // per message.
+    std::unique_ptr<MsgContext> spare;
+    sim::RingQueue<net::RxPacket> backlog;  // packets of subsequent messages
   };
 
   sim::Task<void> flush_packet(SendStream& s, bool last);
@@ -279,6 +306,8 @@ class Endpoint {
   std::uint16_t take_piggyback(int dest);
   void slot_freed(int src) { ++freed_[src]; }
   sim::Task<void> maybe_return_credits(int dest);
+  /// Cluster-wide packet-buffer pool (owned by the fabric).
+  BufferPool& pool() noexcept { return cluster_.fabric().pool(); }
 
   /// Route one data packet into its source's stream machinery.
   void ingest(net::RxPacket&& pkt, int* completed);
@@ -296,8 +325,8 @@ class Endpoint {
   std::vector<int> freed_;
   std::vector<std::uint32_t> next_msg_seq_;
   std::vector<SrcState> src_state_;
-  std::deque<net::RxPacket> pending_;  // parked while hunting for credits
-  std::deque<std::function<sim::Task<void>()>> deferred_;
+  sim::RingQueue<net::RxPacket> pending_;  // parked while hunting for credits
+  sim::RingQueue<std::function<sim::Task<void>()>> deferred_;
   Stats stats_;
 };
 

@@ -1,5 +1,6 @@
 #include "myrinet/fabric.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -41,8 +42,9 @@ int Fabric::hops(int src, int dst) const {
   return 1 + std::abs(switch_of(src) - switch_of(dst));
 }
 
-std::vector<Fabric::Link*> Fabric::route(int src, int dst) {
-  std::vector<Link*> path;
+const std::vector<Fabric::Link*>& Fabric::route(int src, int dst) {
+  std::vector<Link*>& path = route_scratch_;
+  path.clear();
   path.push_back(up_[src].get());
   int s = switch_of(src);
   int t = switch_of(dst);
@@ -99,12 +101,25 @@ sim::Task<void> Fabric::deliver(WirePacket pkt, sim::Ps at) {
       // The packet evaporates; give its reserved SRAM slot back so slack
       // accounting stays conserved (the loss is the sender's problem).
       ++stats_.dropped;
+      pool_.release(std::move(pkt.payload));
       endpoints_[pkt.dst].slack->release();
       co_return;
     }
     if (f.duplicate) {
       ++stats_.duplicated;
-      WirePacket copy = pkt;
+      // Duplicate of the uncorrupted original, with a pooled payload buffer
+      // (the copy constructor would allocate a fresh one).
+      WirePacket copy;
+      copy.src = pkt.src;
+      copy.dst = pkt.dst;
+      copy.wire_seq = pkt.wire_seq;
+      copy.crc = pkt.crc;
+      copy.link_seq = pkt.link_seq;
+      copy.ack = pkt.ack;
+      copy.has_ack = pkt.has_ack;
+      copy.ack_only = pkt.ack_only;
+      copy.payload = pool_.acquire(pkt.payload.size());
+      std::copy(pkt.payload.begin(), pkt.payload.end(), copy.payload.begin());
       maybe_corrupt(pkt);
       auto& ep = endpoints_[pkt.dst];
       assert(ep.wire_in && "destination NIC not attached");
@@ -147,7 +162,7 @@ sim::Task<void> Fabric::transmit(WirePacket pkt) {
 
   const sim::Ps ser = static_cast<sim::Ps>(
       p_.link_ps_per_byte * static_cast<double>(wire_bytes(pkt.payload.size())));
-  auto path = route(pkt.src, pkt.dst);
+  const auto& path = route(pkt.src, pkt.dst);
 
   // Cut-through reservation: on each link, start when the head arrives and
   // the link is free; the head moves on after the link's latency.

@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/buffer_pool.hpp"
 #include "myrinet/fault_hooks.hpp"
 #include "myrinet/packet.hpp"
 #include "myrinet/params.hpp"
@@ -66,6 +67,11 @@ class Fabric {
   void set_fault(FaultInjector* f) noexcept { fault_ = f; }
   FaultInjector* fault() const noexcept { return fault_; }
 
+  /// Shared packet-buffer pool for everything attached to this fabric (NICs
+  /// and the messaging layers above them). One pool per cluster means a
+  /// buffer freed by a receiver is immediately reusable by any sender.
+  BufferPool& pool() noexcept { return pool_; }
+
  private:
   struct Link {
     explicit Link(sim::Engine& eng, sim::Ps lat) : ser(eng), latency(lat) {}
@@ -78,7 +84,10 @@ class Fabric {
   };
 
   int switch_of(int host) const { return host / p_.hosts_per_switch; }
-  std::vector<Link*> route(int src, int dst);
+  /// Fills route_scratch_ with the link path src -> dst and returns it.
+  /// Valid until the next route() call; transmit() uses it without
+  /// suspending, so concurrent transmits never see each other's path.
+  const std::vector<Link*>& route(int src, int dst);
   sim::Task<void> deliver(WirePacket pkt, sim::Ps at);
   sim::Task<void> deliver_duplicate(WirePacket pkt);
   void maybe_corrupt(WirePacket& pkt);
@@ -92,6 +101,8 @@ class Fabric {
   std::vector<std::unique_ptr<Link>> right_;  // switch s -> s+1
   std::vector<std::unique_ptr<Link>> left_;   // switch s+1 -> s
   std::vector<Endpoint> endpoints_;
+  std::vector<Link*> route_scratch_;
+  BufferPool pool_;
   FaultInjector* fault_ = nullptr;
   Stats stats_;
   std::uint64_t next_seq_ = 0;

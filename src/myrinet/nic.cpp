@@ -1,5 +1,6 @@
 #include "myrinet/nic.hpp"
 
+#include <algorithm>
 #include <vector>
 
 namespace fmx::net {
@@ -49,7 +50,20 @@ sim::Task<void> Nic::tx_inject_program() {
         pr.ack_due = false;
       }
       if (pt.retained.empty()) pt.last_progress = eng_.now();
-      pt.retained.push_back(pkt);  // retained copy (payload duplicated)
+      // Retained copy for go-back-N; its payload duplicate comes from the
+      // pool and goes back to it when the ack advances past it.
+      WirePacket keep;
+      keep.src = pkt.src;
+      keep.dst = pkt.dst;
+      keep.wire_seq = pkt.wire_seq;
+      keep.crc = pkt.crc;
+      keep.link_seq = pkt.link_seq;
+      keep.ack = pkt.ack;
+      keep.has_ack = pkt.has_ack;
+      keep.ack_only = pkt.ack_only;
+      keep.payload = fabric_.pool().acquire(pkt.payload.size());
+      std::copy(pkt.payload.begin(), pkt.payload.end(), keep.payload.begin());
+      pt.retained.push_back(std::move(keep));
       rtx_cv_.notify_all();
     }
     co_await fabric_.transmit(std::move(pkt));
@@ -60,6 +74,7 @@ void Nic::process_ack(int peer, std::uint32_t ack) {
   PeerTx& pt = tx_peers_[peer];
   bool advanced = false;
   while (pt.base < ack && !pt.retained.empty()) {
+    fabric_.pool().release(std::move(pt.retained.front().payload));
     pt.retained.pop_front();
     ++pt.base;
     advanced = true;
@@ -88,12 +103,14 @@ sim::Task<void> Nic::rx_wire_program() {
     }
     if (!pkt.crc_ok()) {
       ++stats_.crc_dropped;
+      fabric_.pool().release(std::move(pkt.payload));
       rx_slack_.release();
       continue;
     }
     if (p_.reliable_link) {
       if (pkt.has_ack) process_ack(pkt.src, pkt.ack);
       if (pkt.ack_only) {
+        fabric_.pool().release(std::move(pkt.payload));
         rx_slack_.release();
         continue;
       }
@@ -102,6 +119,7 @@ sim::Task<void> Nic::rx_wire_program() {
         // Go-back-N: duplicates and gaps are both discarded; re-ack so the
         // sender learns where we stand.
         ++stats_.seq_dropped;
+        fabric_.pool().release(std::move(pkt.payload));
         pr.ack_due = true;
         ack_cv_.notify_all();
         rx_slack_.release();

@@ -1,76 +1,126 @@
 #include "sim/engine.hpp"
 
 #include <cassert>
-#include <memory>
+
+#include "sim/frame_pool.hpp"
 
 namespace fmx::sim {
 namespace {
 
-// Detached driver for root tasks: eagerly starts, self-destroys on return.
-struct Detached {
-  struct promise_type {
-    Detached get_return_object() { return {}; }
-    std::suspend_never initial_suspend() noexcept { return {}; }
+// Detached driver for root tasks. Suspended at creation, resumed by the
+// engine at its scheduled time, self-destroys on return. Owning the Task by
+// value replaces the old shared_ptr<Task> + capturing-lambda (three heap
+// allocations per spawn); the driver frame itself comes from the frame pool.
+struct RootDriver {
+  struct promise_type : PooledFrame {
+    RootDriver get_return_object() {
+      return {std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
     std::suspend_never final_suspend() noexcept { return {}; }
     void return_void() noexcept {}
     // Let the exception escape through Engine::run so tests see it.
     void unhandled_exception() { throw; }
   };
+  std::coroutine_handle<promise_type> handle;
 };
 
-Detached drive(Engine* eng, std::shared_ptr<Task<void>> task,
-               int* live_roots) {
-  co_await std::move(*task);
-  (void)eng;
+RootDriver drive(Task<void> task, int* live_roots) {
+  co_await std::move(task);
   --*live_roots;
 }
 
 }  // namespace
 
-void Engine::schedule_at(Ps t, std::function<void()> fn) {
+void Engine::schedule_at(Ps t, SmallFn fn) {
   assert(t >= now_ && "cannot schedule in the past");
-  queue_.push(Event{t, next_seq_++, {}, std::move(fn)});
+  std::uint32_t slot;
+  if (!free_fn_slots_.empty()) {
+    slot = free_fn_slots_.back();
+    free_fn_slots_.pop_back();
+    fn_slots_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<std::uint32_t>(fn_slots_.size());
+    fn_slots_.push_back(std::move(fn));
+  }
+  queue_.push(
+      HeapEvent{t, next_seq_++, (static_cast<std::uintptr_t>(slot) << 1) | 1});
 }
 
 void Engine::schedule_at(Ps t, std::coroutine_handle<> h) {
   assert(t >= now_ && "cannot schedule in the past");
-  queue_.push(Event{t, next_seq_++, h, {}});
+  auto addr = reinterpret_cast<std::uintptr_t>(h.address());
+  assert((addr & 1) == 0 && "coroutine frames are at least 2-byte aligned");
+  queue_.push(HeapEvent{t, next_seq_++, addr});
 }
 
 void Engine::spawn(Task<void> task) {
   ++live_roots_;
-  auto t = std::make_shared<Task<void>>(std::move(task));
-  schedule_at(now_, [this, t]() mutable { drive(this, t, &live_roots_); });
+  schedule_at(now_, drive(std::move(task), &live_roots_).handle);
 }
 
 void Engine::spawn_daemon(Task<void> task) {
-  auto t = std::make_shared<Task<void>>(std::move(task));
-  schedule_at(now_,
-              [this, t]() mutable { drive(this, t, &daemon_roots_); });
+  schedule_at(now_, drive(std::move(task), &daemon_roots_).handle);
 }
 
 bool Engine::step() {
   if (queue_.empty()) return false;
-  Event ev = queue_.top();
-  queue_.pop();
+  HeapEvent ev = queue_.pop_min();
   now_ = ev.t;
   ++processed_;
-  if (ev.fn) {
-    ev.fn();
+  if (ev.payload & 1) {
+    const auto slot = static_cast<std::uint32_t>(ev.payload >> 1);
+    SmallFn fn = std::move(fn_slots_[slot]);
+    free_fn_slots_.push_back(slot);
+    fn();
   } else {
-    ev.coro.resume();
+    std::coroutine_handle<>::from_address(
+        reinterpret_cast<void*>(ev.payload))
+        .resume();
   }
   return true;
 }
 
 std::uint64_t Engine::run(Ps until) {
-  std::uint64_t n = 0;
-  while (!queue_.empty() && queue_.top().t <= until) {
-    step();
-    ++n;
-  }
+  const std::uint64_t before = processed_;
+  while (!queue_.empty() && queue_.min_time() <= until) step();
   if (now_ < until && until != std::numeric_limits<Ps>::max()) now_ = until;
-  return n;
+  return processed_ - before;
+}
+
+void Engine::EventQueue::sift_up(std::size_t i) {
+  HeapEvent e = v_[i];
+  while (i > 0) {
+    std::size_t parent = (i - 1) / 4;
+    if (!before(e, v_[parent])) break;
+    v_[i] = v_[parent];
+    i = parent;
+  }
+  v_[i] = e;
+}
+
+// Bottom-up heap repair after pop (as in libstdc++ __pop_heap): walk the
+// root hole down along minimum children all the way to a leaf, then place
+// the displaced last element there and sift it up. The displaced element
+// came from the bottom of the heap, so the upward pass almost always stops
+// immediately — saving one compare-against-displaced per level versus the
+// textbook sift-down.
+void Engine::EventQueue::sift_hole_down(HeapEvent displaced) {
+  const std::size_t n = v_.size();
+  std::size_t i = 0;
+  for (;;) {
+    std::size_t first = i * 4 + 1;
+    if (first >= n) break;
+    std::size_t last = first + 4 < n ? first + 4 : n;
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (before(v_[c], v_[best])) best = c;
+    }
+    v_[i] = v_[best];
+    i = best;
+  }
+  v_[i] = displaced;
+  sift_up(i);
 }
 
 }  // namespace fmx::sim

@@ -1,0 +1,95 @@
+#include "sim/frame_pool.hpp"
+
+#include <cstdlib>
+#include <new>
+
+namespace fmx::sim {
+namespace {
+
+// Frames are rounded up to 64-byte granularity; one free list per size
+// class, classes up to 4 KiB (larger frames are rare one-offs and go to
+// plain operator new).
+constexpr std::size_t kGranularity = 64;
+constexpr std::size_t kMaxPooled = 4096;
+constexpr std::size_t kClasses = kMaxPooled / kGranularity;
+constexpr std::size_t kSlabBytes = 64 * 1024;
+
+struct FreeNode {
+  FreeNode* next;
+};
+
+struct Pool {
+  FreeNode* free_list[kClasses] = {};
+  // Bump region of the current slab per class-agnostic arena.
+  std::byte* bump = nullptr;
+  std::size_t bump_left = 0;
+  FramePoolStats stats;
+};
+
+Pool& pool() {
+  static Pool p;
+  return p;
+}
+
+}  // namespace
+
+namespace detail {
+
+void* frame_alloc(std::size_t n) {
+  Pool& p = pool();
+  ++p.stats.allocs;
+  if (n == 0) n = 1;
+  if (n > kMaxPooled) {
+    ++p.stats.oversize;
+    return ::operator new(n);
+  }
+  std::size_t cls = (n + kGranularity - 1) / kGranularity - 1;
+  if (FreeNode* f = p.free_list[cls]) {
+    p.free_list[cls] = f->next;
+    ++p.stats.recycled;
+    return f;
+  }
+  std::size_t want = (cls + 1) * kGranularity;
+  if (p.bump_left < want) {
+    // Retire the slab remnant into the largest classes it still fits
+    // (avoids wasting the tail) and carve a fresh slab.
+    std::byte* rem =
+        p.bump != nullptr ? p.bump + (kSlabBytes - p.bump_left) : nullptr;
+    std::size_t left = p.bump != nullptr ? p.bump_left : 0;
+    while (left >= kGranularity) {
+      std::size_t rcls = left / kGranularity - 1;
+      std::size_t rbytes = (rcls + 1) * kGranularity;
+      auto* node = reinterpret_cast<FreeNode*>(rem);
+      node->next = p.free_list[rcls];
+      p.free_list[rcls] = node;
+      rem += rbytes;
+      left -= rbytes;
+    }
+    p.bump = static_cast<std::byte*>(::operator new(kSlabBytes));
+    p.bump_left = kSlabBytes;
+    ++p.stats.slab_allocs;
+  }
+  void* out = p.bump + (kSlabBytes - p.bump_left);
+  p.bump_left -= want;
+  return out;
+}
+
+void frame_free(void* ptr, std::size_t n) noexcept {
+  Pool& p = pool();
+  ++p.stats.frees;
+  if (n == 0) n = 1;
+  if (n > kMaxPooled) {
+    ::operator delete(ptr);
+    return;
+  }
+  std::size_t cls = (n + kGranularity - 1) / kGranularity - 1;
+  auto* node = static_cast<FreeNode*>(ptr);
+  node->next = p.free_list[cls];
+  p.free_list[cls] = node;
+}
+
+}  // namespace detail
+
+const FramePoolStats& frame_pool_stats() noexcept { return pool().stats; }
+
+}  // namespace fmx::sim

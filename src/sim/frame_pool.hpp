@@ -1,0 +1,45 @@
+// Size-bucketed free-list allocator for coroutine frames. Every co_await of
+// a sim::Task (Channel::push/pop, Fabric::transmit, Host::sync, ...) creates
+// a coroutine frame; with plain operator new that is a malloc/free pair per
+// call — i.e. per simulated packet. Frame sizes repeat (the same coroutines
+// run millions of times), so a per-size free list reaches steady state after
+// warm-up and the simulation's hot paths stop allocating entirely.
+//
+// The simulation is single-threaded by design (see sim/engine.hpp); the pool
+// shares that contract and is deliberately not thread-safe. Memory is carved
+// from slabs that are retained for the life of the process — frames are
+// recycled, never returned to malloc.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fmx::sim {
+
+struct FramePoolStats {
+  std::uint64_t allocs = 0;       // frame_alloc calls
+  std::uint64_t frees = 0;        // frame_free calls
+  std::uint64_t slab_allocs = 0;  // times a new slab was carved from malloc
+  std::uint64_t oversize = 0;     // requests too big to pool (fell to new)
+  std::uint64_t recycled = 0;     // allocs served from a free list
+};
+
+namespace detail {
+
+void* frame_alloc(std::size_t n);
+void frame_free(void* p, std::size_t n) noexcept;
+
+}  // namespace detail
+
+const FramePoolStats& frame_pool_stats() noexcept;
+
+/// Mixin: give a coroutine promise pooled frame allocation.
+/// `struct promise_type : PooledFrame { ... };`
+struct PooledFrame {
+  static void* operator new(std::size_t n) { return detail::frame_alloc(n); }
+  static void operator delete(void* p, std::size_t n) noexcept {
+    detail::frame_free(p, n);
+  }
+};
+
+}  // namespace fmx::sim

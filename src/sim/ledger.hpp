@@ -61,12 +61,21 @@ class CostLedger {
     copied_bytes_ += bytes;
   }
 
+  /// A fresh heap buffer had to be allocated on the data path (buffer-pool
+  /// miss). Steady-state streaming should record zero of these.
+  void note_alloc(std::uint64_t bytes) noexcept {
+    ++allocs_;
+    alloc_bytes_ += bytes;
+  }
+
   Ps total() const noexcept { return total_; }
   Ps of(Cost c) const noexcept {
     return per_cat_[static_cast<std::size_t>(c)];
   }
   std::uint64_t copies() const noexcept { return copies_; }
   std::uint64_t copied_bytes() const noexcept { return copied_bytes_; }
+  std::uint64_t allocs() const noexcept { return allocs_; }
+  std::uint64_t alloc_bytes() const noexcept { return alloc_bytes_; }
 
   void reset() noexcept { *this = CostLedger{}; }
 
@@ -79,6 +88,8 @@ class CostLedger {
     d.total_ = total_ - earlier.total_;
     d.copies_ = copies_ - earlier.copies_;
     d.copied_bytes_ = copied_bytes_ - earlier.copied_bytes_;
+    d.allocs_ = allocs_ - earlier.allocs_;
+    d.alloc_bytes_ = alloc_bytes_ - earlier.alloc_bytes_;
     return d;
   }
 
@@ -87,6 +98,8 @@ class CostLedger {
   Ps total_ = 0;
   std::uint64_t copies_ = 0;
   std::uint64_t copied_bytes_ = 0;
+  std::uint64_t allocs_ = 0;
+  std::uint64_t alloc_bytes_ = 0;
 };
 
 }  // namespace fmx::sim

@@ -1,0 +1,124 @@
+// Growable circular FIFO used on the simulator's hot paths in place of
+// std::deque. libstdc++'s deque allocates and frees a ~512-byte node every
+// few dozen push/pop cycles even at a constant queue depth, so a steady
+// packet stream pays malloc per packet; this ring doubles its backing store
+// until it reaches the workload's high-water mark and then never allocates
+// again.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace fmx::sim {
+
+template <typename T>
+class RingQueue {
+ public:
+  RingQueue() = default;
+  RingQueue(const RingQueue&) = delete;
+  RingQueue& operator=(const RingQueue&) = delete;
+  RingQueue(RingQueue&& o) noexcept
+      : buf_(std::exchange(o.buf_, nullptr)),
+        cap_(std::exchange(o.cap_, 0)),
+        head_(std::exchange(o.head_, 0)),
+        size_(std::exchange(o.size_, 0)) {}
+  RingQueue& operator=(RingQueue&& o) noexcept {
+    if (this != &o) {
+      destroy_all();
+      buf_ = std::exchange(o.buf_, nullptr);
+      cap_ = std::exchange(o.cap_, 0);
+      head_ = std::exchange(o.head_, 0);
+      size_ = std::exchange(o.size_, 0);
+    }
+    return *this;
+  }
+  ~RingQueue() { destroy_all(); }
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return cap_; }
+
+  T& front() noexcept {
+    assert(size_ > 0);
+    return slot(head_);
+  }
+  const T& front() const noexcept {
+    assert(size_ > 0);
+    return const_cast<RingQueue*>(this)->slot(head_);
+  }
+  /// i-th element from the front (0 == front()).
+  T& operator[](std::size_t i) noexcept {
+    assert(i < size_);
+    return slot((head_ + i) & (cap_ - 1));
+  }
+  const T& operator[](std::size_t i) const noexcept {
+    return (*const_cast<RingQueue*>(this))[i];
+  }
+
+  void push_back(T v) {
+    if (size_ == cap_) grow();
+    ::new (static_cast<void*>(&slot_raw((head_ + size_) & (cap_ - 1))))
+        T(std::move(v));
+    ++size_;
+  }
+
+  void pop_front() {
+    assert(size_ > 0);
+    slot(head_).~T();
+    head_ = (head_ + 1) & (cap_ - 1);
+    --size_;
+  }
+
+  /// Move the front element out and pop it.
+  T take_front() {
+    assert(size_ > 0);
+    T v = std::move(slot(head_));
+    pop_front();
+    return v;
+  }
+
+  void clear() noexcept {
+    while (size_ > 0) pop_front();
+  }
+
+ private:
+  struct alignas(alignof(T)) Storage {
+    std::byte bytes[sizeof(T)];
+  };
+
+  T& slot(std::size_t i) noexcept {
+    return *std::launder(reinterpret_cast<T*>(&buf_[i]));
+  }
+  Storage& slot_raw(std::size_t i) noexcept { return buf_[i]; }
+
+  void grow() {
+    std::size_t ncap = cap_ == 0 ? 8 : cap_ * 2;
+    Storage* nbuf = new Storage[ncap];
+    for (std::size_t i = 0; i < size_; ++i) {
+      T& src = slot((head_ + i) & (cap_ - 1));
+      ::new (static_cast<void*>(&nbuf[i])) T(std::move(src));
+      src.~T();
+    }
+    delete[] buf_;
+    buf_ = nbuf;
+    cap_ = ncap;
+    head_ = 0;
+  }
+
+  void destroy_all() noexcept {
+    clear();
+    delete[] buf_;
+    buf_ = nullptr;
+    cap_ = 0;
+  }
+
+  Storage* buf_ = nullptr;
+  std::size_t cap_ = 0;   // always a power of two (or 0)
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace fmx::sim

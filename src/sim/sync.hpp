@@ -1,15 +1,17 @@
 // Coroutine synchronization primitives on top of the event engine.
 // Wakeups are scheduled through the engine at the current timestamp (never
 // resumed inline), which keeps event ordering deterministic and stacks flat.
+// Waiter queues are RingQueues: steady-state waiting/waking does not touch
+// the allocator (std::deque would churn a node allocation per ~64 waits).
 #pragma once
 
 #include <cassert>
 #include <coroutine>
 #include <cstddef>
-#include <deque>
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "sim/ring.hpp"
 #include "sim/task.hpp"
 
 namespace fmx::sim {
@@ -35,21 +37,20 @@ class CondVar {
 
   void notify_one() {
     if (waiters_.empty()) return;
-    auto h = waiters_.front();
-    waiters_.pop_front();
-    eng_.schedule_at(eng_.now(), h);
+    eng_.schedule_at(eng_.now(), waiters_.take_front());
   }
 
   void notify_all() {
-    for (auto h : waiters_) eng_.schedule_at(eng_.now(), h);
-    waiters_.clear();
+    while (!waiters_.empty()) {
+      eng_.schedule_at(eng_.now(), waiters_.take_front());
+    }
   }
 
   std::size_t waiting() const noexcept { return waiters_.size(); }
 
  private:
   Engine& eng_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  RingQueue<std::coroutine_handle<>> waiters_;
 };
 
 /// Counting semaphore with FIFO handoff (a release while waiters exist
@@ -91,9 +92,8 @@ class Semaphore {
   void release(long n = 1) {
     for (long i = 0; i < n; ++i) {
       if (!waiters_.empty()) {
-        auto h = waiters_.front();
-        waiters_.pop_front();
-        eng_.schedule_at(eng_.now(), h);  // token handed to the waiter
+        // token handed to the waiter
+        eng_.schedule_at(eng_.now(), waiters_.take_front());
       } else {
         ++count_;
       }
@@ -106,7 +106,7 @@ class Semaphore {
  private:
   Engine& eng_;
   long count_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  RingQueue<std::coroutine_handle<>> waiters_;
 };
 
 /// One-shot latch: waiters block until open() fires; waits after that

@@ -16,6 +16,8 @@
 #include <utility>
 #include <variant>
 
+#include "sim/frame_pool.hpp"
+
 namespace fmx::sim {
 
 template <typename T>
@@ -23,7 +25,10 @@ class Task;
 
 namespace detail {
 
-class TaskPromiseBase {
+// Frames come from the size-bucketed pool (sim/frame_pool.hpp): Task
+// coroutines are created per channel op / packet / sync call, and pooling
+// makes those hot paths allocation-free in steady state.
+class TaskPromiseBase : public PooledFrame {
  public:
   std::suspend_always initial_suspend() noexcept { return {}; }
 

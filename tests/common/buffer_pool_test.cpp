@@ -1,0 +1,110 @@
+#include "common/buffer_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fmx {
+namespace {
+
+TEST(BufferPool, FirstAcquireIsFresh) {
+  BufferPool pool;
+  bool fresh = false;
+  Bytes b = pool.acquire(100, &fresh);
+  EXPECT_TRUE(fresh);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_GE(b.capacity(), 128u);  // rounded up to the 2^7 class
+  EXPECT_EQ(pool.stats().fresh_allocs, 1u);
+  EXPECT_EQ(pool.stats().pool_hits, 0u);
+  EXPECT_EQ(pool.stats().outstanding, 1u);
+}
+
+TEST(BufferPool, ReleaseThenAcquireHitsPool) {
+  BufferPool pool;
+  Bytes b = pool.acquire(100);
+  const std::byte* data = b.data();
+  pool.release(std::move(b));
+  EXPECT_EQ(pool.stats().free_buffers, 1u);
+
+  bool fresh = true;
+  Bytes again = pool.acquire(90, &fresh);  // same 128-B class
+  EXPECT_FALSE(fresh);
+  EXPECT_EQ(again.data(), data);  // literally the same storage
+  EXPECT_EQ(again.size(), 90u);
+  EXPECT_EQ(pool.stats().pool_hits, 1u);
+  EXPECT_EQ(pool.stats().free_buffers, 0u);
+}
+
+TEST(BufferPool, DistinctClassesDoNotMix) {
+  BufferPool pool;
+  pool.release(pool.acquire(64));   // 2^6 class
+  bool fresh = false;
+  Bytes big = pool.acquire(4096, &fresh);  // 2^12 class: must be fresh
+  EXPECT_TRUE(fresh);
+  EXPECT_GE(big.capacity(), 4096u);
+}
+
+TEST(BufferPool, AcquiredSizeIsExactAcrossReuse) {
+  BufferPool pool;
+  pool.release(pool.acquire(1024));
+  for (std::size_t n : {513u, 1024u, 600u}) {
+    Bytes b = pool.acquire(n);  // all land in the 1-KiB class
+    EXPECT_EQ(b.size(), n);
+    pool.release(std::move(b));
+  }
+}
+
+TEST(BufferPool, OutstandingHighWaterTracksPeak) {
+  BufferPool pool;
+  std::vector<Bytes> held;
+  for (int i = 0; i < 5; ++i) held.push_back(pool.acquire(256));
+  EXPECT_EQ(pool.stats().outstanding, 5u);
+  EXPECT_EQ(pool.stats().outstanding_high, 5u);
+  for (auto& b : held) pool.release(std::move(b));
+  held.clear();
+  EXPECT_EQ(pool.stats().outstanding, 0u);
+  EXPECT_EQ(pool.stats().outstanding_high, 5u);  // peak sticks
+  (void)pool.acquire(256);
+  EXPECT_EQ(pool.stats().outstanding_high, 5u);
+}
+
+TEST(BufferPool, RetentionCapDropsBurstExcess) {
+  BufferPool pool;
+  std::vector<Bytes> held;
+  for (int i = 0; i < 80; ++i) held.push_back(pool.acquire(512));
+  for (auto& b : held) pool.release(std::move(b));
+  // Only kRetainPerClass (64) buffers are parked; the rest went back to
+  // the allocator so a burst can't pin memory forever.
+  EXPECT_EQ(pool.stats().free_buffers, 64u);
+}
+
+TEST(BufferPool, OversizeRequestsBypassRetention) {
+  BufferPool pool;
+  Bytes huge = pool.acquire(2u << 20);  // 2 MiB: above the top class
+  EXPECT_EQ(huge.size(), 2u << 20);
+  pool.release(std::move(huge));
+  bool fresh = false;
+  Bytes again = pool.acquire(2u << 20, &fresh);
+  EXPECT_TRUE(fresh);  // not recycled: out-of-class buffers are dropped
+}
+
+TEST(BufferPool, EmptyBuffersIgnoredOnRelease) {
+  BufferPool pool;
+  pool.release(Bytes{});  // capacity 0: no-op, no underflow
+  EXPECT_EQ(pool.stats().free_buffers, 0u);
+  EXPECT_EQ(pool.stats().outstanding, 0u);
+}
+
+TEST(BufferPool, ZeroSizeAcquireWorks) {
+  BufferPool pool;
+  Bytes b = pool.acquire(0);
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_GE(b.capacity(), 64u);  // still a pooled 64-B-class buffer
+  pool.release(std::move(b));
+  bool fresh = true;
+  (void)pool.acquire(1, &fresh);
+  EXPECT_FALSE(fresh);
+}
+
+}  // namespace
+}  // namespace fmx

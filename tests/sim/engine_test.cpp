@@ -142,6 +142,58 @@ TEST(Engine, ManyInterleavedTasksDeterministic) {
   EXPECT_EQ(a.size(), 15u);
 }
 
+TEST(Engine, RunReturnsEventsDelta) {
+  Engine eng;
+  for (int i = 0; i < 5; ++i) eng.schedule_at(us(i), [] {});
+  std::uint64_t first = eng.run(us(2));  // events at 0, 1, 2 us
+  EXPECT_EQ(first, 3u);
+  EXPECT_EQ(eng.events_processed(), 3u);
+  std::uint64_t rest = eng.run();
+  EXPECT_EQ(rest, 2u);  // delta, not cumulative
+  EXPECT_EQ(eng.events_processed(), 5u);
+  EXPECT_EQ(eng.run(), 0u);  // idle run processes nothing
+}
+
+// Awaitable that parks its coroutine directly in the event queue via the
+// raw-handle schedule_in overload (no callable wrapper at all).
+struct ResumeIn {
+  Engine& e;
+  Ps d;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) { e.schedule_in(d, h); }
+  void await_resume() const noexcept {}
+};
+
+TEST(Engine, ScheduleInResumesRawCoroutineHandle) {
+  Engine eng;
+  Ps resumed_at = 0;
+  eng.spawn([](Engine& e, Ps& out) -> Task<void> {
+    co_await ResumeIn{e, us(9)};
+    out = e.now();
+  }(eng, resumed_at));
+  eng.run();
+  EXPECT_EQ(resumed_at, us(9));
+  EXPECT_EQ(eng.pending_roots(), 0);
+}
+
+TEST(Engine, HandleAndCallableEventsInterleaveFifo) {
+  // Handle-carrying and callable-carrying events at the same timestamp keep
+  // schedule order — the tagged-event encoding must not perturb the FIFO
+  // tie-break between the two kinds.
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(us(1), [&] { order.push_back(0); });
+  eng.spawn([](Engine& e, std::vector<int>& lg) -> Task<void> {
+    co_await ResumeIn{e, us(1)};
+    lg.push_back(1);
+  }(eng, order));
+  eng.schedule_at(us(1), [&] { order.push_back(2); });
+  eng.run();
+  // The root task starts at t=0 and only THEN parks its handle at us(1),
+  // so the handle event carries the latest sequence number of the three.
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 1}));
+}
+
 TEST(Engine, SleepUntilClampsToNow) {
   Engine eng;
   eng.schedule_at(us(10), [] {});
