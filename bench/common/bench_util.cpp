@@ -183,6 +183,66 @@ void print_series(const std::string& title,
   }
 }
 
+trace::BreakdownSummary fm1_breakdown(const net::ClusterParams& cp,
+                                      std::size_t msg_size, int n_msgs,
+                                      fm1::Config cfg) {
+  Engine eng;
+  net::Cluster cluster(eng, cp);
+  cluster.fabric().tracer().enable();
+  fm1::Endpoint tx(cluster, 0, cfg);
+  fm1::Endpoint rx(cluster, 1, cfg);
+  int got = 0;
+  rx.register_handler(0, [&](int, ByteSpan) { ++got; });
+  eng.spawn([](fm1::Endpoint& ep, std::size_t size, int n) -> Task<void> {
+    Bytes msg(size);
+    for (int i = 0; i < n; ++i) co_await ep.send(1, 0, ByteSpan{msg});
+  }(tx, msg_size, n_msgs));
+  eng.spawn([](fm1::Endpoint& ep, int& g, int n) -> Task<void> {
+    co_await ep.poll_until([&] { return g == n; });
+  }(rx, got, n_msgs));
+  eng.run();
+  return trace::summarize_breakdown(cluster.fabric().tracer());
+}
+
+trace::BreakdownSummary fm2_breakdown(const net::ClusterParams& cp,
+                                      std::size_t msg_size, int n_msgs,
+                                      fm2::Config cfg) {
+  Engine eng;
+  net::Cluster cluster(eng, cp);
+  cluster.fabric().tracer().enable();
+  fm2::Endpoint tx(cluster, 0, cfg);
+  fm2::Endpoint rx(cluster, 1, cfg);
+  int got = 0;
+  Bytes sink(std::max<std::size_t>(msg_size, 1));
+  rx.register_handler(0, [&](fm2::RecvStream& s, int) -> fm2::HandlerTask {
+    if (s.msg_bytes() > 0) co_await s.receive(sink.data(), s.msg_bytes());
+    ++got;
+  });
+  eng.spawn([](fm2::Endpoint& ep, std::size_t size, int n) -> Task<void> {
+    Bytes msg(size);
+    for (int i = 0; i < n; ++i) co_await ep.send(1, 0, ByteSpan{msg});
+  }(tx, msg_size, n_msgs));
+  eng.spawn([](fm2::Endpoint& ep, int& g, int n) -> Task<void> {
+    co_await ep.poll_until([&] { return g == n; });
+  }(rx, got, n_msgs));
+  eng.run();
+  return trace::summarize_breakdown(cluster.fabric().tracer());
+}
+
+void print_breakdown_rows(
+    const std::string& title,
+    const std::vector<std::pair<std::string, trace::BreakdownSummary>>&
+        rows) {
+  std::printf("%s\n", title.c_str());
+  std::printf("  %-18s %6s %9s %9s %9s %10s %9s\n", "stack", "msgs",
+              "host us", "wire us", "queue us", "handler us", "total us");
+  for (const auto& [label, s] : rows) {
+    std::printf("  %-18s %6llu %9.3f %9.3f %9.3f %10.3f %9.3f\n",
+                label.c_str(), static_cast<unsigned long long>(s.messages),
+                s.host_us, s.wire_us, s.queue_us, s.handler_us, s.total_us);
+  }
+}
+
 }  // namespace fmx::bench
 
 // Defined out of line to keep mpi headers out of bench_util.hpp users that

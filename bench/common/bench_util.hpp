@@ -8,11 +8,13 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fm1/fm1.hpp"
 #include "fm2/fm2.hpp"
 #include "myrinet/params.hpp"
+#include "trace/export.hpp"
 
 namespace fmx::bench {
 
@@ -52,6 +54,20 @@ Measurement mpi_bandwidth(MpiGen gen, const net::ClusterParams& cp,
 /// MPI one-way latency (ping-pong / 2).
 double mpi_latency_us(MpiGen gen, const net::ClusterParams& cp,
                       std::size_t msg_size, int rounds = 40);
+
+/// Per-message latency breakdown (host / wire / queue / handler columns,
+/// from the cross-layer tracer) for a traced streaming run.
+trace::BreakdownSummary fm1_breakdown(const net::ClusterParams& cp,
+                                      std::size_t msg_size, int n_msgs = 100,
+                                      fm1::Config cfg = {});
+trace::BreakdownSummary fm2_breakdown(const net::ClusterParams& cp,
+                                      std::size_t msg_size, int n_msgs = 100,
+                                      fm2::Config cfg = {});
+
+/// Print breakdown summaries as a table, one row per (label, summary).
+void print_breakdown_rows(
+    const std::string& title,
+    const std::vector<std::pair<std::string, trace::BreakdownSummary>>& rows);
 
 /// N1/2: smallest message size (bytes, searched over `grid`) whose bandwidth
 /// reaches half of `peak_mbs`. Returns the interpolated size.

@@ -12,6 +12,11 @@
 //     and buffer pool exist to make this ~0; a warmup stream runs first so
 //     one-time pool growth is excluded.
 //
+// A second measured stream runs with the cross-layer tracer enabled
+// (traced_* keys) so bench_check.py can gate the tracing tax: the trace
+// ring is preallocated at enable(), so traced_allocs_per_event must stay 0
+// in steady state too.
+//
 // Usage: substrate_throughput [msg_size] [n_msgs] [out.json]
 #include <chrono>
 #include <cstdio>
@@ -21,6 +26,7 @@
 #include "alloc_hook.hpp"
 #include "bench_util.hpp"
 #include "sim/engine.hpp"
+#include "trace/trace.hpp"
 
 using namespace fmx;
 using Clock = std::chrono::steady_clock;
@@ -81,6 +87,26 @@ int main(int argc, char** argv) {
   const double sim_bytes_per_sec = payload_bytes / wall_s;
   const double allocs_per_event = static_cast<double>(allocs) / events;
 
+  // Same stream with the tracer on: the ring is preallocated at enable(),
+  // so the only acceptable steady-state cost is the per-event branch+store.
+  cluster.fabric().tracer().enable();
+  stream(eng, tx, rx, got, ByteSpan{msg}, warmup_msgs);  // warm trace path
+  bench::alloc_hook_reset();
+  const auto traced_start = Clock::now();
+  const std::uint64_t traced_events =
+      stream(eng, tx, rx, got, ByteSpan{msg}, n_msgs);
+  const auto traced_end = Clock::now();
+  const std::uint64_t traced_allocs = bench::alloc_hook_count();
+  cluster.fabric().tracer().disable();
+
+  const double traced_wall_s =
+      std::chrono::duration<double>(traced_end - traced_start).count();
+  const double traced_events_per_sec = traced_events / traced_wall_s;
+  const double traced_allocs_per_event =
+      static_cast<double>(traced_allocs) / traced_events;
+  const double trace_overhead_pct =
+      100.0 * (events_per_sec - traced_events_per_sec) / events_per_sec;
+
   std::printf("FM 2.x stream: %d msgs x %zu B, %llu events\n", n_msgs,
               msg_size, static_cast<unsigned long long>(events));
   std::printf("  wall time          %.3f s\n", wall_s);
@@ -91,6 +117,9 @@ int main(int argc, char** argv) {
   std::printf("  allocs/event       %.6f (%llu allocs, %llu bytes)\n",
               allocs_per_event, static_cast<unsigned long long>(allocs),
               static_cast<unsigned long long>(alloc_bytes));
+  std::printf("  tracing on:        %.3g events/sec, %.6f allocs/event, "
+              "%.1f%% overhead\n", traced_events_per_sec,
+              traced_allocs_per_event, trace_overhead_pct);
 
   std::FILE* f = std::fopen(out_path, "w");
   if (!f) {
@@ -109,13 +138,17 @@ int main(int argc, char** argv) {
                "  \"sim_bytes_per_sec\": %.1f,\n"
                "  \"allocs\": %llu,\n"
                "  \"alloc_bytes\": %llu,\n"
-               "  \"allocs_per_event\": %.6f\n"
+               "  \"allocs_per_event\": %.6f,\n"
+               "  \"traced_events_per_sec\": %.1f,\n"
+               "  \"traced_allocs_per_event\": %.6f,\n"
+               "  \"trace_overhead_pct\": %.2f\n"
                "}\n",
                msg_size, n_msgs, static_cast<unsigned long long>(events),
                wall_s, sim_s, events_per_sec, sim_bytes_per_sec,
                static_cast<unsigned long long>(allocs),
                static_cast<unsigned long long>(alloc_bytes),
-               allocs_per_event);
+               allocs_per_event, traced_events_per_sec,
+               traced_allocs_per_event, trace_overhead_pct);
   std::fclose(f);
   std::printf("wrote %s\n", out_path);
   return 0;

@@ -6,10 +6,14 @@
 //            driven by FM_extract
 //
 // Build & run:  ./build/examples/quickstart
+//
+// Set FMX_TRACE=/path/to/out.json to record a cross-layer trace of the run
+// (Chrome tracing format — load it at chrome://tracing or ui.perfetto.dev).
 #include <cstdio>
 #include <cstring>
 
 #include "fm2/fm2.hpp"
+#include "trace/export.hpp"
 
 using namespace fmx;
 using fm2::Endpoint;
@@ -93,6 +97,9 @@ int main() {
   Endpoint node1(cluster, 1);
   node1.register_handler(kHello, hello_handler);
 
+  const char* trace_path = trace::env_trace_path();
+  if (trace_path) cluster.fabric().tracer().enable();
+
   engine.spawn(sender(node0));
   engine.spawn(receiver(node1));
   engine.run();
@@ -100,5 +107,14 @@ int main() {
   std::printf("simulated time: %.2f us, wire packets: %llu\n",
               sim::to_us(engine.now()),
               static_cast<unsigned long long>(cluster.fabric().stats().packets));
+  if (trace_path) {
+    if (trace::write_chrome_trace(cluster.fabric().tracer(), trace_path)) {
+      std::printf("trace written to %s (%zu events)\n", trace_path,
+                  cluster.fabric().tracer().size());
+    } else {
+      std::fprintf(stderr, "failed to write trace to %s\n", trace_path);
+      return 1;
+    }
+  }
   return g_done ? 0 : 1;
 }

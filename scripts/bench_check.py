@@ -80,6 +80,20 @@ def main() -> int:
         print("bench_check: REGRESSION: steady-state allocations returned "
               "to the event/packet hot path", file=sys.stderr)
         ok = False
+
+    # Tracing tax (keys absent from pre-tracing baselines — skip then).
+    traced_eps = cur.get("traced_events_per_sec")
+    traced_allocs = cur.get("traced_allocs_per_event")
+    if traced_eps is not None and traced_allocs is not None:
+        pct = 100.0 * (cur_eps - traced_eps) / cur_eps
+        print(f"bench_check: tracing on/off {traced_eps:,.0f} / "
+              f"{cur_eps:,.0f} events/sec ({pct:+.1f}% overhead); "
+              f"traced allocs/event {traced_allocs:.6f}")
+        if traced_allocs > args.max_allocs:
+            print("bench_check: REGRESSION: tracing allocates in the "
+                  "steady state (the ring must be preallocated at "
+                  "enable())", file=sys.stderr)
+            ok = False
     return 0 if ok else 1
 
 

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Validate an exported Chrome-tracing JSON file.
+
+Checks that a trace produced by trace::write_chrome_trace (or the
+FMX_TRACE environment hook in examples/benches) is something the Chrome
+tracing UI / Perfetto will actually load:
+
+  - the file parses and has a `traceEvents` array;
+  - every event carries the required keys (name, ph, pid, tid, and ts for
+    non-metadata phases) with sane types;
+  - only the phases the exporter emits appear (M, i, X, b, e);
+  - timestamps are non-decreasing in file order (the exporter sorts);
+  - complete slices ("X") have a non-negative duration;
+  - async begin/end pairs ("b"/"e") balance per (category, id) and never
+    end before they begin.
+
+Usage:
+  scripts/trace_check.py trace.json [trace2.json ...]
+  scripts/trace_check.py --run BINARY   # run BINARY with FMX_TRACE set to
+                                        # a temp path, then validate that
+
+Exit status: 0 ok, 1 validation failure, 2 usage/environment error.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REQUIRED_KEYS = {"name", "ph", "pid", "tid"}
+KNOWN_PHASES = {"M", "i", "X", "b", "e"}
+
+
+def check_trace(path):
+    """Returns a list of problem strings (empty = valid)."""
+    problems = []
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"cannot load {path!r}: {e}"]
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return [f"{path}: no traceEvents array"]
+    if not events:
+        return [f"{path}: traceEvents is empty"]
+
+    last_ts = None
+    open_async = {}  # (cat, id) -> (begin_ts, event index)
+    n_timed = 0
+    for i, ev in enumerate(events):
+        where = f"{path}: event {i}"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        missing = REQUIRED_KEYS - ev.keys()
+        if missing:
+            problems.append(f"{where}: missing keys {sorted(missing)}")
+            continue
+        ph = ev["ph"]
+        if ph not in KNOWN_PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if ph == "M":
+            continue  # metadata has no timestamp
+
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            problems.append(f"{where}: phase {ph!r} has no numeric ts")
+            continue
+        n_timed += 1
+        if last_ts is not None and ts < last_ts:
+            problems.append(f"{where}: ts {ts} < previous {last_ts} "
+                            "(exporter must sort)")
+        last_ts = ts
+
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: X slice with bad dur {dur!r}")
+        elif ph in ("b", "e"):
+            key = (ev.get("cat"), ev.get("id"))
+            if key[1] is None:
+                problems.append(f"{where}: async event without id")
+                continue
+            if ph == "b":
+                if key in open_async:
+                    problems.append(f"{where}: async {key} begun twice")
+                open_async[key] = (ts, i)
+            else:
+                begun = open_async.pop(key, None)
+                if begun is None:
+                    problems.append(f"{where}: async end {key} without "
+                                    "begin")
+                elif ts < begun[0]:
+                    problems.append(f"{where}: async {key} ends at {ts} "
+                                    f"before begin at {begun[0]}")
+    for key, (ts, i) in open_async.items():
+        problems.append(f"{path}: async {key} begun at event {i} never "
+                        "ends")
+    if n_timed == 0:
+        problems.append(f"{path}: only metadata events, nothing traced")
+    return problems
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("traces", nargs="*", help="trace JSON files to check")
+    ap.add_argument("--run", metavar="BINARY",
+                    help="run BINARY with FMX_TRACE pointing at a temp "
+                         "file, then validate what it wrote")
+    args = ap.parse_args()
+    if not args.traces and not args.run:
+        ap.error("need trace files and/or --run BINARY")
+
+    paths = list(args.traces)
+    if args.run:
+        out = os.path.join(tempfile.mkdtemp(prefix="trace_check_"),
+                           "trace.json")
+        env = dict(os.environ, FMX_TRACE=out)
+        try:
+            subprocess.run([args.run], check=True, env=env,
+                           stdout=subprocess.DEVNULL)
+        except (OSError, subprocess.CalledProcessError) as e:
+            print(f"trace_check: failed to run {args.run!r}: {e}",
+                  file=sys.stderr)
+            return 2
+        if not os.path.exists(out):
+            print(f"trace_check: {args.run!r} did not write {out}",
+                  file=sys.stderr)
+            return 2
+        paths.append(out)
+
+    ok = True
+    for path in paths:
+        problems = check_trace(path)
+        if problems:
+            ok = False
+            for p in problems:
+                print(f"trace_check: FAIL: {p}", file=sys.stderr)
+        else:
+            print(f"trace_check: {path}: ok")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
 namespace fmx::fm1 {
 
@@ -40,6 +41,17 @@ Endpoint::Endpoint(net::Cluster& cluster, int node_id, Config cfg)
   credits_.assign(n_hosts_, cfg_.credits_per_peer);
   freed_.assign(n_hosts_, 0);
   next_msg_seq_.assign(n_hosts_, 0);
+
+  // Publish this endpoint's live counters; a later endpoint on the same
+  // node simply takes the names over.
+  trace::MetricsRegistry& m = tracer().metrics();
+  const std::string pre = "fm1.node" + std::to_string(node_id) + ".";
+  m.expose(pre + "msgs_sent", &stats_.msgs_sent);
+  m.expose(pre + "msgs_received", &stats_.msgs_received);
+  m.expose(pre + "bytes_sent", &stats_.bytes_sent);
+  m.expose(pre + "bytes_received", &stats_.bytes_received);
+  m.expose(pre + "packets_sent", &stats_.packets_sent);
+  m.expose(pre + "credit_stalls", &stats_.credit_stall_events);
 }
 
 void Endpoint::register_handler(HandlerId id, Handler h) {
@@ -65,6 +77,11 @@ sim::Task<void> Endpoint::send_packet(int dest, PacketType type,
   h.credits = take_piggyback(dest);
   h.msg_seq = msg_seq;
 
+  const std::uint64_t tid =
+      trace::Tracer::msg_id(id(), dest, trace::Layer::kFm1, msg_seq);
+  tracer().record(trace::EventType::kSendEnqueue, trace::Layer::kFm1, id(),
+                  tid, chunk.size());
+
   bool fresh = false;
   Bytes pkt = pool().acquire(sizeof(PacketHeader) + chunk.size(), &fresh);
   if (fresh) node_.host().ledger().note_alloc(pkt.size());
@@ -84,8 +101,9 @@ sim::Task<void> Endpoint::send_packet(int dest, PacketType type,
     host.ledger().note_copy(pkt.size());
     co_await host.sync();
     co_await bus.pio(pkt.size());
-    co_await node_.nic().enqueue(
-        net::SendDescriptor(dest, std::move(pkt), /*fetch_dma=*/false));
+    net::SendDescriptor sd(dest, std::move(pkt), /*fetch_dma=*/false);
+    sd.trace_id = tid;
+    co_await node_.nic().enqueue(std::move(sd));
   } else {
     // DMA mode: the bytes were already assembled into a pinned host buffer
     // (that assembly is this very `pkt` build; charge it as a copy) and the
@@ -93,8 +111,9 @@ sim::Task<void> Endpoint::send_packet(int dest, PacketType type,
     host.charge(Cost::kCopy, host.memcpy_cost(pkt.size()));
     host.ledger().note_copy(pkt.size());
     co_await host.sync();
-    co_await node_.nic().enqueue(
-        net::SendDescriptor(dest, std::move(pkt), /*fetch_dma=*/true));
+    net::SendDescriptor sd(dest, std::move(pkt), /*fetch_dma=*/true);
+    sd.trace_id = tid;
+    co_await node_.nic().enqueue(std::move(sd));
   }
 }
 
@@ -216,12 +235,18 @@ sim::Task<void> Endpoint::maybe_return_credits(int dest) {
 void Endpoint::deliver_data(int src, const PacketHeader& h, ByteSpan chunk,
                             int* completed) {
   auto& host = node_.host();
+  const std::uint64_t tid =
+      trace::Tracer::msg_id(src, id(), trace::Layer::kFm1, h.msg_seq);
   if (h.msg_bytes <= seg_) {
     // Single-packet message: the handler sees the packet bytes in place.
     host.charge(Cost::kDispatch, host.params().handler_dispatch);
     ++stats_.msgs_received;
     stats_.bytes_received += chunk.size();
+    tracer().record(trace::EventType::kHandlerRun, trace::Layer::kFm1, id(),
+                    tid, chunk.size());
     if (auto& fn = handlers_.at(h.handler)) fn(src, chunk);
+    tracer().record(trace::EventType::kMsgDone, trace::Layer::kFm1, id(),
+                    tid, chunk.size());
     ++*completed;
     return;
   }
@@ -246,9 +271,16 @@ void Endpoint::deliver_data(int src, const PacketHeader& h, ByteSpan chunk,
     host.charge(Cost::kDispatch, host.params().handler_dispatch);
     ++stats_.msgs_received;
     stats_.bytes_received += part.staging.size();
+    // FM 1.x runs the handler once, only after full reassembly — the
+    // handler_run/msg_done gap in a trace is pure handler time, unlike
+    // FM 2.x where it overlaps trailing-packet arrival.
+    tracer().record(trace::EventType::kHandlerRun, trace::Layer::kFm1, id(),
+                    tid, part.staging.size());
     if (auto& fn = handlers_.at(part.head.handler)) {
       fn(src, ByteSpan{part.staging});
     }
+    tracer().record(trace::EventType::kMsgDone, trace::Layer::kFm1, id(),
+                    tid, part.staging.size());
     pool().release(std::move(part.staging));
     partials_.erase(it);
     ++*completed;
@@ -293,6 +325,10 @@ sim::Task<int> Endpoint::extract() {
     ++processed;
   }
   if (processed > 0) node_.nic().host_ring().poke();
+  if (completed > 0) {
+    tracer().record(trace::EventType::kExtract, trace::Layer::kFm1, id(), 0,
+                    static_cast<std::uint64_t>(completed));
+  }
   co_await host.sync();
   for (int peer = 0; peer < n_hosts_; ++peer) {
     co_await maybe_return_credits(peer);

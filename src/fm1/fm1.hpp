@@ -80,6 +80,8 @@ class Endpoint {
   int cluster_size() const noexcept { return n_hosts_; }
   net::Host& host() noexcept { return node_.host(); }
   std::size_t max_payload_per_packet() const noexcept { return seg_; }
+  /// Cluster-wide tracer (owned by the fabric).
+  trace::Tracer& tracer() noexcept { return cluster_.fabric().tracer(); }
 
   struct Stats {
     std::uint64_t msgs_sent = 0;

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
 namespace fmx::fm2 {
 
@@ -122,6 +123,19 @@ Endpoint::Endpoint(net::Cluster& cluster, int node_id, Config cfg)
   freed_.assign(n_hosts_, 0);
   next_msg_seq_.assign(n_hosts_, 0);
   src_state_.resize(n_hosts_);
+
+  // Publish this endpoint's live counters; a later endpoint on the same
+  // node simply takes the names over.
+  trace::MetricsRegistry& m = tracer().metrics();
+  const std::string pre = "fm2.node" + std::to_string(node_id) + ".";
+  m.expose(pre + "msgs_sent", &stats_.msgs_sent);
+  m.expose(pre + "msgs_received", &stats_.msgs_received);
+  m.expose(pre + "bytes_sent", &stats_.bytes_sent);
+  m.expose(pre + "bytes_received", &stats_.bytes_received);
+  m.expose(pre + "packets_sent", &stats_.packets_sent);
+  m.expose(pre + "handler_starts", &stats_.handler_starts);
+  m.expose(pre + "handler_resumes", &stats_.handler_resumes);
+  m.expose(pre + "credit_stalls", &stats_.credit_stall_events);
 }
 
 void Endpoint::register_handler(HandlerId id, HandlerFn fn) {
@@ -154,6 +168,7 @@ sim::Task<SendStream> Endpoint::begin_message(int dest, std::size_t size,
   host.charge(Cost::kCall, host.params().call_overhead / 2);
   SendStream s(dest, handler, static_cast<std::uint32_t>(size),
                next_msg_seq_[dest]++);
+  s.trace_id_ = trace::Tracer::msg_id(id(), dest, trace::Layer::kFm2, s.seq_);
   bool fresh = false;
   s.pkt_ = pool().acquire(kHdr + std::min(seg_, size), &fresh);
   if (fresh) host.ledger().note_alloc(s.pkt_.size());
@@ -211,6 +226,8 @@ sim::Task<void> Endpoint::flush_packet(SendStream& s, bool last) {
   wire::store_header(MutByteSpan{s.pkt_}, h);
   host.charge(Cost::kHeader, kHeaderBuildCost);
   ++stats_.packets_sent;
+  tracer().record(trace::EventType::kSendEnqueue, trace::Layer::kFm2, id(),
+                  s.trace_id_, s.fill_);
 
   co_await acquire_credit(s.dest_);
   Bytes out = std::move(s.pkt_);
@@ -229,12 +246,14 @@ sim::Task<void> Endpoint::flush_packet(SendStream& s, bool last) {
     host.ledger().note_copy(out.size());
     co_await host.sync();
     co_await node_.bus().pio(out.size());
-    co_await node_.nic().enqueue(
-        net::SendDescriptor(s.dest_, std::move(out), /*fetch_dma=*/false));
+    net::SendDescriptor sd(s.dest_, std::move(out), /*fetch_dma=*/false);
+    sd.trace_id = s.trace_id_;
+    co_await node_.nic().enqueue(std::move(sd));
   } else {
     co_await host.sync();
-    co_await node_.nic().enqueue(
-        net::SendDescriptor(s.dest_, std::move(out), /*fetch_dma=*/true));
+    net::SendDescriptor sd(s.dest_, std::move(out), /*fetch_dma=*/true);
+    sd.trace_id = s.trace_id_;
+    co_await node_.nic().enqueue(std::move(sd));
   }
 }
 
@@ -318,6 +337,8 @@ void Endpoint::start_message(SrcState& st, int src, const PacketHeader& h) {
     st.current = std::make_unique<MsgContext>(this, src, h.msg_bytes,
                                               h.msg_seq, h.handler);
   }
+  st.current->stream.trace_id_ =
+      trace::Tracer::msg_id(src, id(), trace::Layer::kFm2, h.msg_seq);
   auto& fn = handlers_.at(h.handler);
   if (!fn) {
     // No handler registered: consume-and-drop semantics.
@@ -329,6 +350,9 @@ void Endpoint::start_message(SrcState& st, int src, const PacketHeader& h) {
                         node_.host().params().handler_dispatch);
     st.current->task = fn(st.current->stream, src);
     ++stats_.handler_starts;
+    tracer().record(trace::EventType::kHandlerRun, trace::Layer::kFm2, id(),
+                    st.current->stream.trace_id_,
+                    st.current->stream.available());
     st.current->task.resume();  // runs until first unfulfillable receive
   }
 }
@@ -346,6 +370,8 @@ void Endpoint::pump(SrcState& st, int src, int* completed) {
                           node_.host().params().handler_dispatch);
       ctx.task = fn(sstr, src);
       ++stats_.handler_starts;
+      tracer().record(trace::EventType::kHandlerRun, trace::Layer::kFm2,
+                      id(), sstr.trace_id_, sstr.available());
       ctx.task.resume();
     }
 
@@ -356,6 +382,8 @@ void Endpoint::pump(SrcState& st, int src, int* completed) {
       sstr.waiting_ = {};
       node_.host().charge(Cost::kDispatch, kResumeCost);
       ++stats_.handler_resumes;
+      tracer().record(trace::EventType::kHandlerRun, trace::Layer::kFm2,
+                      id(), sstr.trace_id_, sstr.available());
       h.resume();
     }
 
@@ -376,6 +404,8 @@ void Endpoint::pump(SrcState& st, int src, int* completed) {
     ++*completed;
     ++stats_.msgs_received;
     stats_.bytes_received += sstr.msg_bytes_;
+    tracer().record(trace::EventType::kMsgDone, trace::Layer::kFm2, id(),
+                    sstr.trace_id_, sstr.msg_bytes_);
     st.spare = std::move(st.current);
     while (!st.backlog.empty() && !st.current) {
       net::RxPacket pkt = st.backlog.take_front();
@@ -448,6 +478,10 @@ sim::Task<int> Endpoint::extract(std::size_t budget) {
   // Our extraction may have satisfied another poller's condition (several
   // libraries can poll one endpoint): let sleepers re-check.
   if (processed > 0) node_.nic().host_ring().poke();
+  if (completed > 0) {
+    tracer().record(trace::EventType::kExtract, trace::Layer::kFm2, id(), 0,
+                    static_cast<std::uint64_t>(completed));
+  }
 
   co_await host.sync();
   for (int peer = 0; peer < n_hosts_; ++peer) {

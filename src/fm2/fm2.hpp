@@ -103,6 +103,8 @@ class RecvStream {
   auto skip(std::size_t n) { return Awaiter{*this, nullptr, n}; }
 
   int src() const noexcept { return src_; }
+  /// Cross-layer trace id of this message (stable across the fabric).
+  std::uint64_t trace_id() const noexcept { return trace_id_; }
   /// Total message length (from the message header).
   std::size_t msg_bytes() const noexcept { return msg_bytes_; }
   /// Bytes not yet consumed by the handler.
@@ -146,6 +148,7 @@ class RecvStream {
   int src_;
   std::uint32_t msg_bytes_;
   std::uint32_t seq_;
+  std::uint64_t trace_id_ = 0;  // set by Endpoint::start_message
   std::size_t consumed_ = 0;  // handler-consumed + skipped bytes
   std::size_t fed_ = 0;       // message bytes that have been fed
   std::size_t queued_ = 0;    // fed - consumed (bytes sitting in q_)
@@ -173,6 +176,7 @@ class SendStream {
   HandlerId handler_ = 0;
   std::uint32_t total_ = 0;
   std::uint32_t seq_ = 0;
+  std::uint64_t trace_id_ = 0;  // set by Endpoint::begin_message
   std::size_t sent_ = 0;       // payload bytes composed so far
   Bytes pkt_;                  // packet under assembly (incl. header space)
   std::size_t fill_ = 0;       // payload bytes in pkt_
@@ -240,6 +244,8 @@ class Endpoint {
   int cluster_size() const noexcept { return n_hosts_; }
   net::Host& host() noexcept { return node_.host(); }
   std::size_t max_payload_per_packet() const noexcept { return seg_; }
+  /// Cluster-wide tracer (owned by the fabric).
+  trace::Tracer& tracer() noexcept { return cluster_.fabric().tracer(); }
 
   struct Stats {
     std::uint64_t msgs_sent = 0;

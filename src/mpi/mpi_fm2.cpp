@@ -135,6 +135,8 @@ fm2::HandlerTask MpiFm2::on_message(fm2::RecvStream& s, int /*src*/) {
         throw std::runtime_error(
             "MPI: message truncation (buffer too small)");
       }
+      fm_.tracer().record(trace::EventType::kMatch, trace::Layer::kMpi,
+                          fm_.id(), s.trace_id(), h.bytes);
       grant_rts(h.src_rank, h.seq, h.tag, h.bytes, pr->buf, pr->req);
       MpiHeader cts;
       cts.kind = kCts;
@@ -166,6 +168,8 @@ fm2::HandlerTask MpiFm2::on_message(fm2::RecvStream& s, int /*src*/) {
     auto it = rdzv_recvs_.find(rdzv_key(h.src_rank, h.seq));
     RdzvRecv rec = std::move(it->second);
     rdzv_recvs_.erase(it);
+    fm_.tracer().record(trace::EventType::kMatch, trace::Layer::kMpi,
+                        fm_.id(), s.trace_id(), h.bytes);
     const std::size_t chunk = fm_.max_payload_per_packet();
     std::size_t off = 0;
     while (off < h.bytes) {
@@ -187,6 +191,8 @@ fm2::HandlerTask MpiFm2::on_message(fm2::RecvStream& s, int /*src*/) {
     if (h.bytes > pr->cap) {
       throw std::runtime_error("MPI: message truncation (buffer too small)");
     }
+    fm_.tracer().record(trace::EventType::kMatch, trace::Layer::kMpi,
+                        fm_.id(), s.trace_id(), h.bytes);
     // Pull the payload from the stream a packet-chunk at a time; each
     // continuation chunk passes through the ADI progress engine.
     const std::size_t chunk = fm_.max_payload_per_packet();

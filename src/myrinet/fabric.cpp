@@ -101,6 +101,8 @@ sim::Task<void> Fabric::deliver(WirePacket pkt, sim::Ps at) {
       // The packet evaporates; give its reserved SRAM slot back so slack
       // accounting stays conserved (the loss is the sender's problem).
       ++stats_.dropped;
+      tracer_.record(trace::EventType::kDrop, trace::Layer::kFabric, pkt.dst,
+                     pkt.trace_id, trace::kDropFault);
       pool_.release(std::move(pkt.payload));
       endpoints_[pkt.dst].slack->release();
       co_return;
@@ -118,11 +120,14 @@ sim::Task<void> Fabric::deliver(WirePacket pkt, sim::Ps at) {
       copy.ack = pkt.ack;
       copy.has_ack = pkt.has_ack;
       copy.ack_only = pkt.ack_only;
+      copy.trace_id = pkt.trace_id;
       copy.payload = pool_.acquire(pkt.payload.size());
       std::copy(pkt.payload.begin(), pkt.payload.end(), copy.payload.begin());
       maybe_corrupt(pkt);
       auto& ep = endpoints_[pkt.dst];
       assert(ep.wire_in && "destination NIC not attached");
+      tracer_.record(trace::EventType::kDeliver, trace::Layer::kFabric,
+                     pkt.dst, pkt.trace_id, pkt.payload.size());
       co_await ep.wire_in->push(std::move(pkt));
       eng_.spawn_daemon(deliver_duplicate(std::move(copy)));
       co_return;
@@ -131,6 +136,8 @@ sim::Task<void> Fabric::deliver(WirePacket pkt, sim::Ps at) {
   maybe_corrupt(pkt);
   auto& ep = endpoints_[pkt.dst];
   assert(ep.wire_in && "destination NIC not attached");
+  tracer_.record(trace::EventType::kDeliver, trace::Layer::kFabric, pkt.dst,
+                 pkt.trace_id, pkt.payload.size());
   co_await ep.wire_in->push(std::move(pkt));
 }
 
@@ -139,6 +146,8 @@ sim::Task<void> Fabric::deliver(WirePacket pkt, sim::Ps at) {
 sim::Task<void> Fabric::deliver_duplicate(WirePacket pkt) {
   auto& ep = endpoints_[pkt.dst];
   co_await ep.slack->acquire();
+  tracer_.record(trace::EventType::kDeliver, trace::Layer::kFabric, pkt.dst,
+                 pkt.trace_id, pkt.payload.size());
   co_await ep.wire_in->push(std::move(pkt));
 }
 
@@ -154,6 +163,10 @@ sim::Task<void> Fabric::transmit(WirePacket pkt) {
 
   // Back-pressure: no injection until the destination NIC has SRAM for it.
   co_await ep.slack->acquire();
+
+  tracer_.record(trace::EventType::kWireHop, trace::Layer::kFabric, pkt.src,
+                 pkt.trace_id,
+                 static_cast<std::uint64_t>(hops(pkt.src, pkt.dst)));
 
   if (pkt.src == pkt.dst) {
     eng_.spawn_daemon(deliver(std::move(pkt), eng_.now() + p_.switch_latency));

@@ -24,6 +24,7 @@
 #include "sim/random.hpp"
 #include "sim/resource.hpp"
 #include "sim/sync.hpp"
+#include "trace/trace.hpp"
 
 namespace fmx::net {
 
@@ -72,6 +73,11 @@ class Fabric {
   /// buffer freed by a receiver is immediately reusable by any sender.
   BufferPool& pool() noexcept { return pool_; }
 
+  /// Cluster-wide tracer. Disabled by default (a single branch per hook);
+  /// every layer attached to this fabric records through it.
+  trace::Tracer& tracer() noexcept { return tracer_; }
+  const trace::Tracer& tracer() const noexcept { return tracer_; }
+
  private:
   struct Link {
     explicit Link(sim::Engine& eng, sim::Ps lat) : ser(eng), latency(lat) {}
@@ -104,6 +110,7 @@ class Fabric {
   std::vector<Link*> route_scratch_;
   BufferPool pool_;
   FaultInjector* fault_ = nullptr;
+  trace::Tracer tracer_{eng_};
   Stats stats_;
   std::uint64_t next_seq_ = 0;
   sim::Rng rng_{0x9E3779B97F4A7C15ull};

@@ -12,7 +12,11 @@ sim::Task<void> Nic::tx_fetch_program() {
   for (;;) {
     SendDescriptor d = co_await tx_queue_.pop();
     if (d.fetch_dma) {
+      fabric_.tracer().record(trace::EventType::kDmaStart, trace::Layer::kNic,
+                              id_, d.trace_id, d.payload.size());
       co_await bus_.dma(d.payload.size());
+      fabric_.tracer().record(trace::EventType::kDmaEnd, trace::Layer::kNic,
+                              id_, d.trace_id, d.payload.size());
     }
     if (d.on_fetched) {
       d.on_fetched();
@@ -36,6 +40,7 @@ sim::Task<void> Nic::tx_inject_program() {
     }
     ++stats_.tx_packets;
     WirePacket pkt = WirePacket::make(id_, d.dst, std::move(d.payload));
+    pkt.trace_id = d.trace_id;
     if (p_.reliable_link) {
       PeerTx& pt = tx_peers_[d.dst];
       while (pt.retained.size() >=
@@ -61,6 +66,7 @@ sim::Task<void> Nic::tx_inject_program() {
       keep.ack = pkt.ack;
       keep.has_ack = pkt.has_ack;
       keep.ack_only = pkt.ack_only;
+      keep.trace_id = pkt.trace_id;
       keep.payload = fabric_.pool().acquire(pkt.payload.size());
       std::copy(pkt.payload.begin(), pkt.payload.end(), keep.payload.begin());
       pt.retained.push_back(std::move(keep));
@@ -101,8 +107,13 @@ sim::Task<void> Nic::rx_wire_program() {
       co_await eng_.delay(static_cast<sim::Ps>(
           p_.crc_ps_per_byte * static_cast<double>(pkt.payload.size())));
     }
-    if (!pkt.crc_ok()) {
+    const bool crc_ok = pkt.crc_ok();
+    fabric_.tracer().record(trace::EventType::kCrcCheck, trace::Layer::kNic,
+                            id_, pkt.trace_id, crc_ok ? 1 : 0);
+    if (!crc_ok) {
       ++stats_.crc_dropped;
+      fabric_.tracer().record(trace::EventType::kDrop, trace::Layer::kNic,
+                              id_, pkt.trace_id, trace::kDropCrc);
       fabric_.pool().release(std::move(pkt.payload));
       rx_slack_.release();
       continue;
@@ -119,6 +130,8 @@ sim::Task<void> Nic::rx_wire_program() {
         // Go-back-N: duplicates and gaps are both discarded; re-ack so the
         // sender learns where we stand.
         ++stats_.seq_dropped;
+        fabric_.tracer().record(trace::EventType::kDrop, trace::Layer::kNic,
+                                id_, pkt.trace_id, trace::kDropSeq);
         fabric_.pool().release(std::move(pkt.payload));
         pr.ack_due = true;
         ack_cv_.notify_all();
@@ -129,8 +142,9 @@ sim::Task<void> Nic::rx_wire_program() {
       pr.ack_due = true;
       ack_cv_.notify_all();
     }
-    co_await rx_checked_.push(
-        RxPacket(pkt.src, std::move(pkt.payload), eng_.now()));
+    RxPacket rx(pkt.src, std::move(pkt.payload), eng_.now());
+    rx.trace_id = pkt.trace_id;
+    co_await rx_checked_.push(std::move(rx));
   }
 }
 
@@ -139,7 +153,11 @@ sim::Task<void> Nic::rx_wire_program() {
 sim::Task<void> Nic::rx_dma_program() {
   for (;;) {
     RxPacket pkt = co_await rx_checked_.pop();
+    fabric_.tracer().record(trace::EventType::kDmaStart, trace::Layer::kNic,
+                            id_, pkt.trace_id, pkt.payload.size());
     co_await bus_.dma(pkt.payload.size());
+    fabric_.tracer().record(trace::EventType::kDmaEnd, trace::Layer::kNic,
+                            id_, pkt.trace_id, pkt.payload.size());
     ++stats_.rx_packets;
     pkt.arrived = eng_.now();
     co_await host_ring_.push(std::move(pkt));
@@ -196,6 +214,9 @@ sim::Task<void> Nic::retransmit_program() {
                                      pt.retained.end());
       for (const WirePacket& pkt : window) {
         ++stats_.retransmissions;
+        fabric_.tracer().record(trace::EventType::kRetransmit,
+                                trace::Layer::kNic, id_, pkt.trace_id,
+                                pkt.link_seq);
         co_await fabric_.transmit(pkt);
       }
     }

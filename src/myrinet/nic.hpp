@@ -39,6 +39,8 @@ struct SendDescriptor {
   bool fetch_dma = false;
   /// Invoked once the payload has left host memory (pinned buffer reusable).
   std::function<void()> on_fetched;
+  /// Tracing metadata (trace::Tracer::msg_id); copied onto the WirePacket.
+  std::uint64_t trace_id = 0;
 };
 
 class Nic {

@@ -29,6 +29,11 @@ struct WirePacket {
   bool has_ack = false;
   bool ack_only = false;        ///< pure control packet, no data
 
+  /// Tracing metadata: the cross-layer message id this packet belongs to
+  /// (trace::Tracer::msg_id). Not wire bytes — carried out of band like
+  /// src/dst, so it never affects serialization time or CRC.
+  std::uint64_t trace_id = 0;
+
   static WirePacket make(int src, int dst, Bytes payload) {
     WirePacket p;
     p.src = src;
@@ -50,6 +55,7 @@ struct RxPacket {
   int src = -1;
   Bytes payload;
   sim::Ps arrived = 0;  ///< time the packet landed in host memory
+  std::uint64_t trace_id = 0;  ///< tracing metadata, threaded from the wire
 };
 
 }  // namespace fmx::net

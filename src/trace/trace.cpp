@@ -1,0 +1,90 @@
+#include "trace/trace.hpp"
+
+#include <string>
+
+namespace fmx::trace {
+
+const char* to_string(EventType t) noexcept {
+  switch (t) {
+    case EventType::kSendEnqueue: return "send_enqueue";
+    case EventType::kDmaStart:    return "dma_start";
+    case EventType::kDmaEnd:      return "dma_end";
+    case EventType::kWireHop:     return "wire_hop";
+    case EventType::kDeliver:     return "deliver";
+    case EventType::kCrcCheck:    return "crc_check";
+    case EventType::kHandlerRun:  return "handler_run";
+    case EventType::kExtract:     return "extract";
+    case EventType::kRetransmit:  return "retransmit";
+    case EventType::kDrop:        return "drop";
+    case EventType::kMatch:       return "match";
+    case EventType::kMsgDone:     return "msg_done";
+    case EventType::kCount:       break;
+  }
+  return "unknown";
+}
+
+const char* to_string(Layer l) noexcept {
+  switch (l) {
+    case Layer::kMpi:    return "mpi";
+    case Layer::kFm2:    return "fm2";
+    case Layer::kFm1:    return "fm1";
+    case Layer::kNic:    return "nic";
+    case Layer::kFabric: return "fabric";
+    case Layer::kOther:  return "other";
+    case Layer::kCount:  break;
+  }
+  return "unknown";
+}
+
+void Tracer::enable(std::size_t capacity_events) {
+  std::size_t want = (capacity_events + kChunkEvents - 1) / kChunkEvents;
+  if (want == 0) want = 1;
+  while (chunks_.size() < want) chunks_.push_back(std::make_unique<Chunk>());
+  for (std::size_t i = 0; i < type_counters_.size(); ++i) {
+    type_counters_[i] = &metrics_.counter(
+        std::string("trace.events.") +
+        to_string(static_cast<EventType>(i)));
+  }
+  clear();
+  enabled_ = true;
+}
+
+void Tracer::clear() noexcept {
+  head_chunk_ = head_off_ = 0;
+  tail_chunk_ = tail_off_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+void Tracer::push(const Event& e) {
+  if (size_ == chunks_.size() * kChunkEvents) {
+    // Ring full: recycle the oldest chunk wholesale before writing.
+    std::size_t lost = kChunkEvents - head_off_;
+    size_ -= lost;
+    dropped_ += lost;
+    head_off_ = 0;
+    head_chunk_ = (head_chunk_ + 1) % chunks_.size();
+  }
+  (*chunks_[tail_chunk_])[tail_off_] = e;
+  ++size_;
+  type_counters_[static_cast<std::size_t>(e.type)]->add();
+  if (++tail_off_ == kChunkEvents) {
+    tail_off_ = 0;
+    tail_chunk_ = (tail_chunk_ + 1) % chunks_.size();
+  }
+}
+
+const Event& Tracer::at(std::size_t i) const noexcept {
+  std::size_t off = head_off_ + i;
+  std::size_t chunk = (head_chunk_ + off / kChunkEvents) % chunks_.size();
+  return (*chunks_[chunk])[off % kChunkEvents];
+}
+
+std::vector<Event> Tracer::events() const {
+  std::vector<Event> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) out.push_back(at(i));
+  return out;
+}
+
+}  // namespace fmx::trace

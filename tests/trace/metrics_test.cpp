@@ -1,0 +1,84 @@
+// MetricsRegistry behavior plus the cross-layer wiring: every layer
+// exposes its stats cells into the fabric tracer's registry at cluster
+// construction, so one snapshot answers "what did the whole cluster do"
+// by name — without tests reaching into per-object Stats structs.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "fm2/fm2.hpp"
+#include "myrinet/node.hpp"
+#include "tests/common/sim_fixture.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace fmx {
+namespace {
+
+using sim::Engine;
+using sim::Task;
+
+TEST(Metrics, CountersAndHistograms) {
+  trace::MetricsRegistry m;
+  trace::Counter& c = m.counter("x.count");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(m.value("x.count"), 42u);
+  EXPECT_EQ(m.value("nope"), std::nullopt);
+  EXPECT_EQ(&m.counter("x.count"), &c);  // stable on re-lookup
+
+  std::uint64_t external = 7;
+  m.expose("x.view", &external);
+  external = 9;
+  EXPECT_EQ(m.value("x.view"), 9u);  // a view, not a copy
+
+  trace::Histogram& h = m.histogram("x.lat", {10, 100, 1000});
+  h.observe(5);
+  h.observe(50);
+  h.observe(5000);  // overflow bucket
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 5055u);
+  ASSERT_NE(m.find_histogram("x.lat"), nullptr);
+  EXPECT_EQ(m.find_histogram("x.lat")->count(), 3u);
+}
+
+TEST(Metrics, ClusterExposesEveryLayerByName) {
+  Engine eng;
+  net::Cluster cluster(eng, net::ppro_fm2_cluster(2));
+  fm2::Endpoint tx(cluster, 0), rx(cluster, 1);
+  int got = 0;
+  Bytes sink(4096);
+  rx.register_handler(0, [&](fm2::RecvStream& s, int) -> fm2::HandlerTask {
+    co_await s.receive(sink.data(), s.msg_bytes());
+    ++got;
+  });
+  eng.spawn([](fm2::Endpoint& ep) -> Task<void> {
+    Bytes m(4096);
+    for (int i = 0; i < 20; ++i) co_await ep.send(1, 0, ByteSpan{m});
+  }(tx));
+  eng.spawn([](fm2::Endpoint& ep, int& g) -> Task<void> {
+    co_await ep.poll_until([&] { return g == 20; });
+  }(rx, got));
+  ASSERT_TRUE(test::run_to_exhaustion(eng));
+
+  const trace::MetricsRegistry& m = cluster.fabric().tracer().metrics();
+  // One registry sees the fabric, the NICs, the hosts' cost ledgers, the
+  // buffer pool, and both endpoints — all live views of the run above.
+  EXPECT_GT(m.value("fabric.packets").value(), 0u);
+  EXPECT_EQ(m.value("fm2.node0.msgs_sent").value(), 20u);
+  EXPECT_EQ(m.value("fm2.node1.msgs_received").value(), 20u);
+  EXPECT_EQ(m.value("fm2.node1.bytes_received").value(), 20u * 4096);
+  EXPECT_GT(m.value("node0.nic.tx_packets").value(), 0u);
+  EXPECT_GT(m.value("node1.nic.rx_packets").value(), 0u);
+  EXPECT_GT(m.value("node1.host.copies").value(), 0u);
+  EXPECT_GT(m.value("pool.acquires").value(), 0u);
+  EXPECT_EQ(m.value("fabric.dropped").value(), 0u);
+
+  // Event-type counters appear once tracing is on (bound at enable()).
+  EXPECT_EQ(m.value("trace.events.send_enqueue"), std::nullopt);
+  cluster.fabric().tracer().enable();
+  ASSERT_TRUE(m.value("trace.events.send_enqueue").has_value());
+}
+
+}  // namespace
+}  // namespace fmx
