@@ -1,0 +1,273 @@
+// Wall-clock scaling of the sharded parallel engine on the 8-node FM 2.x
+// all-to-all streaming workload, vs the single-engine serial simulator on
+// the identical workload. Writes BENCH_parallel.json:
+//   - serial_events_per_sec:  legacy single-Engine Cluster (the PR-2 path)
+//   - per-thread-count events/sec for ParallelCluster at 1/2/4/8 threads,
+//     with a determinism digest that must be identical across all of them
+//   - shard_tax_pct: how much the sharded model at 1 thread gives up vs
+//     the single-engine serial path (window barriers + cross-shard copies)
+//   - allocs_per_event per thread count (steady state; the per-shard pools
+//     keep this ~0 — fresh worker threads re-carve a handful of 64 KiB
+//     frame-pool slabs, which is O(threads), not O(events))
+//   - cpus / cpu_model: speedup is only meaningful when the machine
+//     actually has the cores; scripts/bench_check.py gates on this.
+//
+// Every wall-clock figure is the median of `repetitions` (default 5)
+// measured waves per configuration; alloc counts are maxima across waves.
+//
+// Usage: parallel_scaling [msg_size] [msgs_per_pair] [out.json] [repetitions]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "alloc_hook.hpp"
+#include "bench_util.hpp"
+#include "fm2/fm2.hpp"
+#include "myrinet/parallel_cluster.hpp"
+#include "trace/trace.hpp"
+
+using namespace fmx;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr int kHosts = 8;
+
+struct Digest {
+  std::uint64_t h = 14695981039346656037ull;
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  }
+};
+
+// All-to-all stream: every node sends `per_pair` messages to every peer;
+// receivers poll until they saw them all. Works identically on the serial
+// Cluster and on a ParallelCluster shard set, since endpoints only touch
+// node-local state. Returns events processed by the run.
+template <typename SpawnFn, typename RunFn>
+std::uint64_t all_to_all(std::vector<std::unique_ptr<fm2::Endpoint>>& eps,
+                         std::vector<int>& got, const Bytes& payload,
+                         int per_pair, SpawnFn&& spawn_on, RunFn&& run) {
+  std::fill(got.begin(), got.end(), 0);
+  for (int i = 0; i < kHosts; ++i) {
+    spawn_on(i, [](fm2::Endpoint& ep, ByteSpan msg, int self,
+                   int n) -> sim::Task<void> {
+      for (int m = 0; m < n; ++m) {
+        for (int j = 0; j < kHosts; ++j) {
+          if (j != self) co_await ep.send(j, 0, msg);
+        }
+      }
+    }(*eps[i], ByteSpan{payload}, i, per_pair));
+    spawn_on(i, [](fm2::Endpoint& ep, int& g, int want) -> sim::Task<void> {
+      co_await ep.poll_until([&g, want] { return g == want; });
+    }(*eps[i], got[i], per_pair * (kHosts - 1)));
+  }
+  return run();
+}
+
+void make_handlers(std::vector<std::unique_ptr<fm2::Endpoint>>& eps,
+                   std::vector<int>& got, std::vector<Digest>& rx,
+                   std::vector<Bytes>& sink) {
+  for (int i = 0; i < kHosts; ++i) {
+    eps[i]->register_handler(
+        0, [&got, &rx, &sink, i](fm2::RecvStream& s,
+                                 int src) -> fm2::HandlerTask {
+          const std::size_t n = s.msg_bytes();
+          if (n > 0) co_await s.receive(sink[i].data(), n);
+          rx[i].mix(static_cast<std::uint64_t>(src) ^ n);
+          ++got[i];
+        });
+  }
+}
+
+struct Measured {
+  double wall_s = 0;  // median across repetitions
+  std::uint64_t events = 0;
+  std::uint64_t allocs = 0;  // max across repetitions
+  std::uint64_t digest = 0;
+  std::uint64_t windows = 0;
+};
+
+Measured run_parallel(int threads, std::size_t msg_size, int per_pair,
+                      int warmup_pairs, int reps) {
+  auto params = net::ppro_fm2_cluster(kHosts);
+  net::ParallelCluster cl(params);
+  std::vector<std::unique_ptr<fm2::Endpoint>> eps;
+  for (int i = 0; i < kHosts; ++i) {
+    eps.push_back(
+        std::make_unique<fm2::Endpoint>(cl.node(i), cl.fabric_of(i)));
+  }
+  std::vector<int> got(kHosts, 0);
+  std::vector<Digest> rx(kHosts);
+  std::vector<Bytes> sink(kHosts, Bytes(msg_size));
+  make_handlers(eps, got, rx, sink);
+  const Bytes payload = pattern_bytes(3, msg_size);
+
+  auto spawn = [&cl](int node, sim::Task<void> t) {
+    cl.spawn_on(node, std::move(t));
+  };
+  Measured m;
+  auto run = [&cl, &m, threads] {
+    auto r = cl.run(threads);
+    m.windows = r.windows;
+    return r.events;
+  };
+
+  all_to_all(eps, got, payload, warmup_pairs, spawn, run);  // warm pools
+  std::vector<double> walls;
+  for (int r = 0; r < reps; ++r) {
+    bench::alloc_hook_reset();
+    const auto t0 = Clock::now();
+    m.events = all_to_all(eps, got, payload, per_pair, spawn, run);
+    const auto t1 = Clock::now();
+    m.allocs = std::max(m.allocs, bench::alloc_hook_count());
+    walls.push_back(std::chrono::duration<double>(t1 - t0).count());
+  }
+  m.wall_s = bench::median(walls);
+
+  Digest d;
+  d.mix(m.events);
+  d.mix(m.windows);
+  for (int i = 0; i < kHosts; ++i) {
+    d.mix(rx[i].h);
+    d.mix(eps[i]->stats().packets_sent);
+    d.mix(eps[i]->stats().bytes_received);
+  }
+  m.digest = d.h;
+  return m;
+}
+
+Measured run_serial(std::size_t msg_size, int per_pair, int warmup_pairs,
+                    int reps) {
+  sim::Engine eng;
+  net::Cluster cluster(eng, net::ppro_fm2_cluster(kHosts));
+  std::vector<std::unique_ptr<fm2::Endpoint>> eps;
+  for (int i = 0; i < kHosts; ++i) {
+    eps.push_back(std::make_unique<fm2::Endpoint>(cluster, i));
+  }
+  std::vector<int> got(kHosts, 0);
+  std::vector<Digest> rx(kHosts);
+  std::vector<Bytes> sink(kHosts, Bytes(msg_size));
+  make_handlers(eps, got, rx, sink);
+  const Bytes payload = pattern_bytes(3, msg_size);
+
+  auto spawn = [&eng](int, sim::Task<void> t) { eng.spawn(std::move(t)); };
+  auto run = [&eng] { return eng.run(); };
+
+  all_to_all(eps, got, payload, warmup_pairs, spawn, run);
+  Measured m;
+  std::vector<double> walls;
+  for (int r = 0; r < reps; ++r) {
+    bench::alloc_hook_reset();
+    const auto t0 = Clock::now();
+    m.events = all_to_all(eps, got, payload, per_pair, spawn, run);
+    const auto t1 = Clock::now();
+    m.allocs = std::max(m.allocs, bench::alloc_hook_count());
+    walls.push_back(std::chrono::duration<double>(t1 - t0).count());
+  }
+  m.wall_s = bench::median(walls);
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t msg_size =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1024;
+  const int per_pair = argc > 2 ? std::atoi(argv[2]) : 400;
+  const char* out_path = argc > 3 ? argv[3] : "BENCH_parallel.json";
+  const int reps = std::max(argc > 4 ? std::atoi(argv[4]) : 5, 1);
+  const int warmup_pairs = std::max(1, per_pair / 8);
+  const int thread_counts[] = {1, 2, 4, 8};
+  const unsigned cpus = std::thread::hardware_concurrency();
+  const sim::Ps lookahead =
+      net::Fabric::cross_lookahead(net::ppro_fm2_cluster(kHosts).fabric);
+
+  std::printf("parallel_scaling: %d-node all-to-all, %d msgs/pair x %zu B, "
+              "%d reps (medians), %u cpu(s), lookahead %.0f ns\n",
+              kHosts, per_pair, msg_size, reps, cpus, sim::to_ns(lookahead));
+
+  const Measured serial = run_serial(msg_size, per_pair, warmup_pairs, reps);
+  const double serial_eps = serial.events / serial.wall_s;
+  std::printf("  serial engine      %9.3g events/sec (%llu events, %.3f s)\n",
+              serial_eps, static_cast<unsigned long long>(serial.events),
+              serial.wall_s);
+
+  Measured par[4];
+  double par_eps[4];
+  bool digest_ok = true;
+  for (int k = 0; k < 4; ++k) {
+    par[k] =
+        run_parallel(thread_counts[k], msg_size, per_pair, warmup_pairs, reps);
+    par_eps[k] = par[k].events / par[k].wall_s;
+    if (par[k].digest != par[0].digest || par[k].events != par[0].events) {
+      digest_ok = false;
+    }
+    std::printf("  parallel %d thread  %9.3g events/sec (digest %016llx, "
+                "%.4f allocs/event)\n",
+                thread_counts[k], par_eps[k],
+                static_cast<unsigned long long>(par[k].digest),
+                static_cast<double>(par[k].allocs) / par[k].events);
+  }
+  const double speedup_4t = par_eps[2] / par_eps[0];
+  const double shard_tax_pct = 100.0 * (serial_eps - par_eps[0]) / serial_eps;
+  std::printf("  speedup at 4 threads: %.2fx vs 1 thread; shard tax %.1f%%; "
+              "digests %s\n",
+              speedup_4t, shard_tax_pct,
+              digest_ok ? "identical" : "DIVERGED");
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::perror("fopen");
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"workload\": \"fm2_alltoall_stream\",\n"
+               "  \"n_hosts\": %d,\n"
+               "  \"msg_size\": %zu,\n"
+               "  \"msgs_per_pair\": %d,\n"
+               "  \"repetitions\": %d,\n"
+               "  \"cpus\": %u,\n"
+               "  \"cpu_model\": \"%s\",\n"
+               "  \"lookahead_ps\": %llu,\n"
+               "  \"serial_events_per_sec\": %.1f,\n"
+               "  \"serial_events\": %llu,\n"
+               "  \"threads\": [\n",
+               kHosts, msg_size, per_pair, reps, cpus,
+               bench::cpu_model().c_str(),
+               static_cast<unsigned long long>(lookahead), serial_eps,
+               static_cast<unsigned long long>(serial.events));
+  for (int k = 0; k < 4; ++k) {
+    std::fprintf(
+        f,
+        "    {\"threads\": %d, \"events_per_sec\": %.1f, "
+        "\"allocs_per_event\": %.6f, \"windows\": %llu, "
+        "\"digest\": \"%016llx\"}%s\n",
+        thread_counts[k], par_eps[k],
+        static_cast<double>(par[k].allocs) / par[k].events,
+        static_cast<unsigned long long>(par[k].windows),
+        static_cast<unsigned long long>(par[k].digest), k < 3 ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n"
+               "  \"events_per_window\": %.2f,\n"
+               "  \"speedup_4t_vs_1t\": %.3f,\n"
+               "  \"shard_tax_pct\": %.2f,\n"
+               "  \"digest_ok\": %s\n"
+               "}\n",
+               static_cast<double>(par[0].events) / par[0].windows,
+               speedup_4t, shard_tax_pct, digest_ok ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+  return digest_ok ? 0 : 1;
+}

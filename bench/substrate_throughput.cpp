@@ -12,16 +12,22 @@
 //     and buffer pool exist to make this ~0; a warmup stream runs first so
 //     one-time pool growth is excluded.
 //
-// A second measured stream runs with the cross-layer tracer enabled
-// (traced_* keys) so bench_check.py can gate the tracing tax: the trace
-// ring is preallocated at enable(), so traced_allocs_per_event must stay 0
-// in steady state too.
+// Each configuration is measured over `repetitions` (default 5) interleaved
+// untraced/traced stream pairs, and every wall-clock-derived figure is the
+// MEDIAN across repetitions. A single repetition is noisy enough on a busy
+// machine that the traced stream can come out faster than the untraced one
+// (a negative "overhead"); interleaving plus medians makes the overhead
+// estimate stable. Alloc counts are maxima across repetitions — a single
+// steady-state allocation in any rep is a pool regression.
 //
-// Usage: substrate_throughput [msg_size] [n_msgs] [out.json]
+// Usage: substrate_throughput [msg_size] [n_msgs] [out.json] [repetitions]
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
+#include <vector>
 
 #include "alloc_hook.hpp"
 #include "bench_util.hpp"
@@ -47,6 +53,14 @@ std::uint64_t stream(sim::Engine& eng, fm2::Endpoint& tx, fm2::Endpoint& rx,
   return eng.run();
 }
 
+struct Rep {
+  double wall_s = 0;
+  std::uint64_t events = 0;
+  std::uint64_t allocs = 0;
+  std::uint64_t alloc_bytes = 0;
+  double sim_s = 0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -54,6 +68,7 @@ int main(int argc, char** argv) {
                                         : 4096;
   const int n_msgs = argc > 2 ? std::atoi(argv[2]) : 2000;
   const char* out_path = argc > 3 ? argv[3] : "BENCH_substrate.json";
+  const int reps = std::max(argc > 4 ? std::atoi(argv[4]) : 5, 1);
   const int warmup_msgs = 200;
 
   sim::Engine eng;
@@ -67,56 +82,70 @@ int main(int argc, char** argv) {
   });
   Bytes msg = pattern_bytes(3, msg_size);
 
-  // Warmup: grow the event queue, frame pool, buffer pool, and channel rings
-  // to their steady-state footprint before anything is measured.
+  // Warmup: grow the event queue, frame pool, buffer pool, channel rings and
+  // the trace ring to their steady-state footprint before anything is
+  // measured. enable() preallocates chunk storage once; later enables reuse
+  // it.
   stream(eng, tx, rx, got, ByteSpan{msg}, warmup_msgs);
-
-  const sim::Ps sim_start = eng.now();
-  bench::alloc_hook_reset();
-  const auto wall_start = Clock::now();
-  const std::uint64_t events = stream(eng, tx, rx, got, ByteSpan{msg}, n_msgs);
-  const auto wall_end = Clock::now();
-  const std::uint64_t allocs = bench::alloc_hook_count();
-  const std::uint64_t alloc_bytes = bench::alloc_hook_bytes();
-
-  const double wall_s =
-      std::chrono::duration<double>(wall_end - wall_start).count();
-  const double sim_s = sim::to_seconds(eng.now() - sim_start);
-  const double payload_bytes = static_cast<double>(msg_size) * n_msgs;
-  const double events_per_sec = events / wall_s;
-  const double sim_bytes_per_sec = payload_bytes / wall_s;
-  const double allocs_per_event = static_cast<double>(allocs) / events;
-
-  // Same stream with the tracer on: the ring is preallocated at enable(),
-  // so the only acceptable steady-state cost is the per-event branch+store.
   cluster.fabric().tracer().enable();
-  stream(eng, tx, rx, got, ByteSpan{msg}, warmup_msgs);  // warm trace path
-  bench::alloc_hook_reset();
-  const auto traced_start = Clock::now();
-  const std::uint64_t traced_events =
-      stream(eng, tx, rx, got, ByteSpan{msg}, n_msgs);
-  const auto traced_end = Clock::now();
-  const std::uint64_t traced_allocs = bench::alloc_hook_count();
+  stream(eng, tx, rx, got, ByteSpan{msg}, warmup_msgs);
   cluster.fabric().tracer().disable();
 
-  const double traced_wall_s =
-      std::chrono::duration<double>(traced_end - traced_start).count();
-  const double traced_events_per_sec = traced_events / traced_wall_s;
+  std::vector<Rep> plain(reps), traced(reps);
+  for (int r = 0; r < reps; ++r) {
+    bench::alloc_hook_reset();
+    const sim::Ps sim_start = eng.now();
+    const auto t0 = Clock::now();
+    plain[r].events = stream(eng, tx, rx, got, ByteSpan{msg}, n_msgs);
+    const auto t1 = Clock::now();
+    plain[r].allocs = bench::alloc_hook_count();
+    plain[r].alloc_bytes = bench::alloc_hook_bytes();
+    plain[r].wall_s = std::chrono::duration<double>(t1 - t0).count();
+    plain[r].sim_s = sim::to_seconds(eng.now() - sim_start);
+
+    cluster.fabric().tracer().enable();
+    bench::alloc_hook_reset();
+    const auto t2 = Clock::now();
+    traced[r].events = stream(eng, tx, rx, got, ByteSpan{msg}, n_msgs);
+    const auto t3 = Clock::now();
+    traced[r].allocs = bench::alloc_hook_count();
+    traced[r].wall_s = std::chrono::duration<double>(t3 - t2).count();
+    cluster.fabric().tracer().disable();
+  }
+
+  std::vector<double> eps, beps, teps;
+  std::uint64_t max_allocs = 0, max_alloc_bytes = 0, max_traced_allocs = 0;
+  for (int r = 0; r < reps; ++r) {
+    eps.push_back(plain[r].events / plain[r].wall_s);
+    beps.push_back(static_cast<double>(msg_size) * n_msgs / plain[r].wall_s);
+    teps.push_back(traced[r].events / traced[r].wall_s);
+    max_allocs = std::max(max_allocs, plain[r].allocs);
+    max_alloc_bytes = std::max(max_alloc_bytes, plain[r].alloc_bytes);
+    max_traced_allocs = std::max(max_traced_allocs, traced[r].allocs);
+  }
+  const double events_per_sec = bench::median(eps);
+  const double sim_bytes_per_sec = bench::median(beps);
+  const double traced_events_per_sec = bench::median(teps);
+  const double allocs_per_event =
+      static_cast<double>(max_allocs) / plain[0].events;
   const double traced_allocs_per_event =
-      static_cast<double>(traced_allocs) / traced_events;
+      static_cast<double>(max_traced_allocs) / traced[0].events;
   const double trace_overhead_pct =
       100.0 * (events_per_sec - traced_events_per_sec) / events_per_sec;
 
-  std::printf("FM 2.x stream: %d msgs x %zu B, %llu events\n", n_msgs,
-              msg_size, static_cast<unsigned long long>(events));
-  std::printf("  wall time          %.3f s\n", wall_s);
-  std::printf("  simulated time     %.6f s\n", sim_s);
+  std::printf("FM 2.x stream: %d msgs x %zu B, %llu events, %d reps "
+              "(medians)\n", n_msgs, msg_size,
+              static_cast<unsigned long long>(plain[0].events), reps);
+  std::printf("  wall time          %.3f s (median rep)\n",
+              plain[0].events / events_per_sec);
+  std::printf("  simulated time     %.6f s\n", plain[0].sim_s);
   std::printf("  events/sec (wall)  %.3g\n", events_per_sec);
   std::printf("  sim bytes/sec      %.3g (wall-clock rate of simulated"
               " payload)\n", sim_bytes_per_sec);
-  std::printf("  allocs/event       %.6f (%llu allocs, %llu bytes)\n",
-              allocs_per_event, static_cast<unsigned long long>(allocs),
-              static_cast<unsigned long long>(alloc_bytes));
+  std::printf("  allocs/event       %.6f (max across reps: %llu allocs, "
+              "%llu bytes)\n", allocs_per_event,
+              static_cast<unsigned long long>(max_allocs),
+              static_cast<unsigned long long>(max_alloc_bytes));
   std::printf("  tracing on:        %.3g events/sec, %.6f allocs/event, "
               "%.1f%% overhead\n", traced_events_per_sec,
               traced_allocs_per_event, trace_overhead_pct);
@@ -131,6 +160,10 @@ int main(int argc, char** argv) {
                "  \"workload\": \"fm2_ping_stream\",\n"
                "  \"msg_size\": %zu,\n"
                "  \"n_msgs\": %d,\n"
+               "  \"repetitions\": %d,\n"
+               "  \"threads\": 1,\n"
+               "  \"cpus\": %u,\n"
+               "  \"cpu_model\": \"%s\",\n"
                "  \"events\": %llu,\n"
                "  \"wall_seconds\": %.6f,\n"
                "  \"sim_seconds\": %.9f,\n"
@@ -143,10 +176,14 @@ int main(int argc, char** argv) {
                "  \"traced_allocs_per_event\": %.6f,\n"
                "  \"trace_overhead_pct\": %.2f\n"
                "}\n",
-               msg_size, n_msgs, static_cast<unsigned long long>(events),
-               wall_s, sim_s, events_per_sec, sim_bytes_per_sec,
-               static_cast<unsigned long long>(allocs),
-               static_cast<unsigned long long>(alloc_bytes),
+               msg_size, n_msgs, reps,
+               std::thread::hardware_concurrency(),
+               bench::cpu_model().c_str(),
+               static_cast<unsigned long long>(plain[0].events),
+               plain[0].events / events_per_sec, plain[0].sim_s,
+               events_per_sec, sim_bytes_per_sec,
+               static_cast<unsigned long long>(max_allocs),
+               static_cast<unsigned long long>(max_alloc_bytes),
                allocs_per_event, traced_events_per_sec,
                traced_allocs_per_event, trace_overhead_pct);
   std::fclose(f);

@@ -1,19 +1,35 @@
 #!/usr/bin/env python3
 """Benchmark smoke check: catch large substrate performance regressions.
 
-Runs `substrate_throughput` briefly and compares wall-clock events/sec
-against the committed baseline (BENCH_substrate.json at the repo root).
-Fails if throughput dropped by more than --factor (default 2x), or if the
-steady-state allocation count per event regressed above --max-allocs
-(default 0.01 — the whole point of the pooled hot path is ~0).
+Substrate gate (--binary): runs `substrate_throughput` briefly and compares
+wall-clock events/sec against the committed baseline (BENCH_substrate.json
+at the repo root). Fails if throughput dropped by more than --factor
+(default 2x), or if the steady-state allocation count per event regressed
+above --max-allocs (default 0.01 — the whole point of the pooled hot path
+is ~0).
 
-Wall-clock numbers are machine-dependent, so the gate is deliberately
-loose: it catches "someone reintroduced a per-event allocation or an
-accidental O(n) queue", not single-digit-percent noise.
+Parallel gate (--parallel-binary): runs `parallel_scaling` briefly and
+checks the sharded engine against BENCH_parallel.json:
+  - the determinism digest must be identical at every thread count,
+  - steady-state allocs/event per thread count stays under --max-allocs,
+  - "serial-mode regression": the sharded cluster at 1 thread must stay
+    within --max-shard-tax percent (default 5) of the single-engine serial
+    simulator measured in the SAME run — a machine-independent ratio,
+  - speedup at 4 threads must reach --min-speedup (default 1.5x), enforced
+    only when the machine actually has >= 4 CPUs; on smaller machines the
+    check is reported and skipped (a spin-barrier pool cannot speed up a
+    1-core box, and failing there would only test the container size).
+
+Wall-clock numbers are machine-dependent, so the absolute gates are
+deliberately loose: they catch "someone reintroduced a per-event
+allocation or an accidental O(n) queue", not single-digit-percent noise.
 
 Usage:
   scripts/bench_check.py --binary build/bench/substrate_throughput \
       [--baseline BENCH_substrate.json] [--factor 2.0] [--max-allocs 0.01]
+  scripts/bench_check.py --parallel-binary build/bench/parallel_scaling \
+      [--parallel-baseline BENCH_parallel.json] [--min-speedup 1.5] \
+      [--max-shard-tax 5.0]
 
 Exit status: 0 ok, 1 regression, 2 usage/environment error.
 """
@@ -26,41 +42,21 @@ import sys
 import tempfile
 
 
-def main() -> int:
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--binary", required=True,
-                    help="path to the substrate_throughput executable")
-    ap.add_argument("--baseline", default="BENCH_substrate.json",
-                    help="committed baseline JSON (default: %(default)s)")
-    ap.add_argument("--factor", type=float, default=2.0,
-                    help="max tolerated slowdown vs baseline "
-                         "(default: %(default)s)")
-    ap.add_argument("--max-allocs", type=float, default=0.01,
-                    help="max allocs/event before failing "
-                         "(default: %(default)s)")
-    ap.add_argument("--msgs", type=int, default=500,
-                    help="messages to stream (kept short for the smoke "
-                         "gate; default: %(default)s)")
-    args = ap.parse_args()
+def _run_to_json(cmd):
+    """Run a bench writing its JSON artifact; return the parsed dict."""
+    subprocess.run(cmd, check=True, stdout=subprocess.PIPE)
+    with open(cmd[-1]) as f:
+        return json.load(f)
 
-    if not os.path.exists(args.baseline):
-        print(f"bench_check: baseline {args.baseline!r} not found",
-              file=sys.stderr)
-        return 2
+
+def check_substrate(args) -> bool:
     with open(args.baseline) as f:
         base = json.load(f)
-
     out_json = os.path.join(tempfile.mkdtemp(prefix="bench_check_"),
                             "current.json")
     cmd = [args.binary, str(base.get("msg_size", 4096)), str(args.msgs),
            out_json]
-    try:
-        subprocess.run(cmd, check=True, stdout=subprocess.PIPE)
-    except (OSError, subprocess.CalledProcessError) as e:
-        print(f"bench_check: failed to run {cmd}: {e}", file=sys.stderr)
-        return 2
-    with open(out_json) as f:
-        cur = json.load(f)
+    cur = _run_to_json(cmd)
 
     base_eps = base["events_per_sec"]
     cur_eps = cur["events_per_sec"]
@@ -94,6 +90,130 @@ def main() -> int:
                   "steady state (the ring must be preallocated at "
                   "enable())", file=sys.stderr)
             ok = False
+    return ok
+
+
+def check_parallel(args) -> bool:
+    with open(args.parallel_baseline) as f:
+        base = json.load(f)
+    out_json = os.path.join(tempfile.mkdtemp(prefix="bench_check_par_"),
+                            "parallel.json")
+    cmd = [args.parallel_binary, str(base.get("msg_size", 1024)),
+           str(args.parallel_msgs), out_json]
+    cur = _run_to_json(cmd)
+
+    ok = True
+    if not cur.get("digest_ok", False):
+        print("bench_check: REGRESSION: parallel determinism digest "
+              "diverged across thread counts", file=sys.stderr)
+        ok = False
+
+    per_thread = {t["threads"]: t for t in cur.get("threads", [])}
+    for n, row in sorted(per_thread.items()):
+        allocs = row["allocs_per_event"]
+        print(f"bench_check: parallel {n}t {row['events_per_sec']:,.0f} "
+              f"events/sec, allocs/event {allocs:.6f}")
+        if allocs > args.max_allocs:
+            print(f"bench_check: REGRESSION: steady-state allocations in "
+                  f"the sharded hot path at {n} threads", file=sys.stderr)
+            ok = False
+
+    # Serial-mode regression: same run, same machine, so the tolerance can
+    # be tight. shard_tax is (serial - parallel@1t)/serial; negative means
+    # the sharded path is faster than the single heap, which is fine.
+    tax = cur.get("shard_tax_pct", 0.0)
+    print(f"bench_check: shard tax at 1 thread {tax:+.1f}% "
+          f"(max {args.max_shard_tax:g}%)")
+    if tax > args.max_shard_tax:
+        print("bench_check: REGRESSION: 1-thread sharded run fell more "
+              f"than {args.max_shard_tax:g}% behind the serial engine",
+              file=sys.stderr)
+        ok = False
+
+    # Loose cross-commit wall-clock gate, like the substrate one.
+    base_1t = next((t for t in base.get("threads", [])
+                    if t["threads"] == 1), None)
+    cur_1t = per_thread.get(1)
+    if base_1t and cur_1t:
+        floor = base_1t["events_per_sec"] / args.factor
+        if cur_1t["events_per_sec"] < floor:
+            print(f"bench_check: REGRESSION: parallel 1t events/sec below "
+                  f"baseline/{args.factor:g} ({floor:,.0f})",
+                  file=sys.stderr)
+            ok = False
+
+    cpus = cur.get("cpus", 0)
+    speedup = cur.get("speedup_4t_vs_1t", 0.0)
+    if cpus >= 4:
+        print(f"bench_check: speedup at 4 threads {speedup:.2f}x "
+              f"(min {args.min_speedup:g}x, {cpus} cpus)")
+        if speedup < args.min_speedup:
+            print("bench_check: REGRESSION: parallel speedup at 4 threads "
+                  f"below {args.min_speedup:g}x", file=sys.stderr)
+            ok = False
+    else:
+        print(f"bench_check: speedup at 4 threads {speedup:.2f}x — gate "
+              f"SKIPPED: machine has {cpus} cpu(s), need >= 4 for the "
+              f"{args.min_speedup:g}x check to be meaningful")
+    return ok
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--binary",
+                    help="path to the substrate_throughput executable")
+    ap.add_argument("--baseline", default="BENCH_substrate.json",
+                    help="committed substrate baseline JSON "
+                         "(default: %(default)s)")
+    ap.add_argument("--parallel-binary",
+                    help="path to the parallel_scaling executable")
+    ap.add_argument("--parallel-baseline", default="BENCH_parallel.json",
+                    help="committed parallel baseline JSON "
+                         "(default: %(default)s)")
+    ap.add_argument("--factor", type=float, default=2.0,
+                    help="max tolerated slowdown vs baseline "
+                         "(default: %(default)s)")
+    ap.add_argument("--max-allocs", type=float, default=0.01,
+                    help="max allocs/event before failing "
+                         "(default: %(default)s)")
+    ap.add_argument("--min-speedup", type=float, default=1.5,
+                    help="min 4-thread speedup, enforced when cpus >= 4 "
+                         "(default: %(default)s)")
+    ap.add_argument("--max-shard-tax", type=float, default=5.0,
+                    help="max %% the 1-thread sharded run may trail the "
+                         "serial engine (default: %(default)s)")
+    ap.add_argument("--msgs", type=int, default=500,
+                    help="messages to stream in the substrate gate "
+                         "(default: %(default)s)")
+    ap.add_argument("--parallel-msgs", type=int, default=100,
+                    help="msgs per node pair in the parallel gate "
+                         "(default: %(default)s)")
+    args = ap.parse_args()
+
+    if not args.binary and not args.parallel_binary:
+        print("bench_check: need --binary and/or --parallel-binary",
+              file=sys.stderr)
+        return 2
+
+    ok = True
+    try:
+        if args.binary:
+            if not os.path.exists(args.baseline):
+                print(f"bench_check: baseline {args.baseline!r} not found",
+                      file=sys.stderr)
+                return 2
+            ok = check_substrate(args) and ok
+        if args.parallel_binary:
+            if not os.path.exists(args.parallel_baseline):
+                print(f"bench_check: baseline "
+                      f"{args.parallel_baseline!r} not found",
+                      file=sys.stderr)
+                return 2
+            ok = check_parallel(args) and ok
+    except (OSError, subprocess.CalledProcessError, json.JSONDecodeError,
+            KeyError) as e:
+        print(f"bench_check: failed: {e}", file=sys.stderr)
+        return 2
     return 0 if ok else 1
 
 

@@ -80,4 +80,36 @@ void disarm(net::Cluster& cluster) {
   }
 }
 
+std::vector<std::unique_ptr<PlanInjector>> arm(net::ParallelCluster& cluster,
+                                               const FaultPlan& plan) {
+  std::vector<std::unique_ptr<PlanInjector>> out;
+  out.reserve(cluster.n_shards());
+  for (int s = 0; s < cluster.n_shards(); ++s) {
+    FaultPlan shard_plan = plan;
+    // Golden-ratio mix keeps per-shard streams decorrelated while staying a
+    // pure function of (plan seed, shard index).
+    shard_plan.seed =
+        plan.seed ^ (0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(s + 1));
+    out.push_back(std::make_unique<PlanInjector>(cluster.shard_engine(s),
+                                                 std::move(shard_plan)));
+    cluster.shard_fabric(s).set_fault(out.back().get());
+  }
+  for (int i = 0; i < cluster.size(); ++i) {
+    PlanInjector* inj = out[cluster.shard_of(i)].get();
+    cluster.node(i).nic().set_fault(inj);
+    cluster.node(i).bus().set_fault(inj);
+  }
+  return out;
+}
+
+void disarm(net::ParallelCluster& cluster) {
+  for (int s = 0; s < cluster.n_shards(); ++s) {
+    cluster.shard_fabric(s).set_fault(nullptr);
+  }
+  for (int i = 0; i < cluster.size(); ++i) {
+    cluster.node(i).nic().set_fault(nullptr);
+    cluster.node(i).bus().set_fault(nullptr);
+  }
+}
+
 }  // namespace fmx::fault

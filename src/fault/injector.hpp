@@ -7,9 +7,13 @@
 
 #include <cstdint>
 
+#include <memory>
+#include <vector>
+
 #include "fault/plan.hpp"
 #include "myrinet/fault_hooks.hpp"
 #include "myrinet/node.hpp"
+#include "myrinet/parallel_cluster.hpp"
 #include "sim/engine.hpp"
 #include "sim/random.hpp"
 
@@ -55,5 +59,15 @@ class PlanInjector final : public net::FaultInjector {
 /// outlive the traffic; call disarm() to detach it.
 void arm(net::Cluster& cluster, PlanInjector& injector);
 void disarm(net::Cluster& cluster);
+
+/// Parallel clusters get one injector per shard, armed on that shard's
+/// fabric replica and nodes so every RNG draw stays shard-local (fault-hook
+/// routing to the owning shard). Each shard's seed mixes the plan seed with
+/// the shard index, and shard assignment is fixed per cluster, so the fault
+/// sequence is deterministic and independent of thread count. The returned
+/// injectors must outlive the traffic.
+std::vector<std::unique_ptr<PlanInjector>> arm(net::ParallelCluster& cluster,
+                                               const FaultPlan& plan);
+void disarm(net::ParallelCluster& cluster);
 
 }  // namespace fmx::fault

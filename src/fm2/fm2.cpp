@@ -103,10 +103,14 @@ void RecvStream::discard_all_queued() {
 // Endpoint: construction and send side
 
 Endpoint::Endpoint(net::Cluster& cluster, int node_id, Config cfg)
-    : cluster_(cluster),
-      node_(cluster.node(node_id)),
+    : Endpoint(cluster.node(node_id), cluster.fabric(), cfg) {}
+
+Endpoint::Endpoint(net::Node& node, net::Fabric& fabric, Config cfg)
+    : fabric_(fabric),
+      node_(node),
       cfg_(cfg),
-      n_hosts_(cluster.size()) {
+      n_hosts_(fabric.n_hosts()) {
+  const int node_id = node_.id();
   const auto& nic = node_.nic().params();
   assert(nic.mtu_payload > kHdr);
   seg_ = nic.mtu_payload - kHdr;

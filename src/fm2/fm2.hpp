@@ -198,6 +198,11 @@ struct Config {
 class Endpoint {
  public:
   Endpoint(net::Cluster& cluster, int node_id, Config cfg = {});
+  /// Shard-aware form: bind to a node and the fabric (replica) it is
+  /// attached to. This is the constructor parallel runs use — an endpoint
+  /// only ever touches its own node plus that fabric's pool/tracer, so it
+  /// is naturally shard-local (see myrinet/parallel_cluster.hpp).
+  Endpoint(net::Node& node, net::Fabric& fabric, Config cfg = {});
   Endpoint(const Endpoint&) = delete;
   Endpoint& operator=(const Endpoint&) = delete;
 
@@ -244,8 +249,8 @@ class Endpoint {
   int cluster_size() const noexcept { return n_hosts_; }
   net::Host& host() noexcept { return node_.host(); }
   std::size_t max_payload_per_packet() const noexcept { return seg_; }
-  /// Cluster-wide tracer (owned by the fabric).
-  trace::Tracer& tracer() noexcept { return cluster_.fabric().tracer(); }
+  /// Cluster-wide tracer (owned by the fabric this endpoint attaches to).
+  trace::Tracer& tracer() noexcept { return fabric_.tracer(); }
 
   struct Stats {
     std::uint64_t msgs_sent = 0;
@@ -313,7 +318,7 @@ class Endpoint {
   void slot_freed(int src) { ++freed_[src]; }
   sim::Task<void> maybe_return_credits(int dest);
   /// Cluster-wide packet-buffer pool (owned by the fabric).
-  BufferPool& pool() noexcept { return cluster_.fabric().pool(); }
+  BufferPool& pool() noexcept { return fabric_.pool(); }
 
   /// Route one data packet into its source's stream machinery.
   void ingest(net::RxPacket&& pkt, int* completed);
@@ -321,7 +326,7 @@ class Endpoint {
   void pump(SrcState& st, int src, int* completed);
   void apply_credits_and_strip(net::RxPacket& pkt);
 
-  net::Cluster& cluster_;
+  net::Fabric& fabric_;
   net::Node& node_;
   Config cfg_;
   int n_hosts_;

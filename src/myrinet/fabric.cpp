@@ -85,6 +85,14 @@ void Fabric::maybe_corrupt(WirePacket& pkt) {
 
 sim::Task<void> Fabric::deliver(WirePacket pkt, sim::Ps at) {
   co_await eng_.sleep_until(at);
+  co_await deliver_body(std::move(pkt));
+}
+
+// Everything that happens once the packet's tail reaches the destination:
+// fault hooks, bit errors, tracing, and the hand-off into the NIC's wire
+// buffer. Shared by the serial path (deliver) and the cross-shard path
+// (deliver_remote) so fault semantics are identical in both modes.
+sim::Task<void> Fabric::deliver_body(WirePacket pkt) {
   if (fault_ != nullptr) {
     WireFault f = fault_->on_deliver(pkt);
     if (f.extra_delay > 0) {
@@ -154,12 +162,40 @@ sim::Task<void> Fabric::deliver_duplicate(WirePacket pkt) {
 sim::Task<void> Fabric::transmit(WirePacket pkt) {
   assert(pkt.src >= 0 && pkt.src < n_hosts_);
   assert(pkt.dst >= 0 && pkt.dst < n_hosts_);
-  auto& ep = endpoints_[pkt.dst];
-  assert(ep.slack && "destination NIC not attached");
 
   pkt.wire_seq = next_seq_++;
   ++stats_.packets;
   stats_.payload_bytes += pkt.payload.size();
+
+  if (port_ != nullptr && shard_of_node_[pkt.dst] != my_shard_) {
+    // Destination owned by a peer shard. Reserve every source-side link
+    // (all but the destination's downlink, which its own replica arbitrates)
+    // and publish the packet with its head-arrival time; the receiving
+    // replica finishes the cut-through there, including the SRAM slack
+    // acquisition — back-pressure is exerted at the last hop, where the
+    // receiving NIC's STOP/GO signal physically lives.
+    tracer_.record(trace::EventType::kWireHop, trace::Layer::kFabric, pkt.src,
+                   pkt.trace_id,
+                   static_cast<std::uint64_t>(hops(pkt.src, pkt.dst)));
+    const sim::Ps ser = ser_time(pkt.payload.size());
+    const auto& path = route(pkt.src, pkt.dst);
+    sim::Ps head = eng_.now();
+    sim::Ps tail_done = eng_.now();
+    sim::Ps uplink_done = 0;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      Link* l = path[i];
+      tail_done = l->ser.reserve_from(head, ser);
+      head = (tail_done - ser) + l->latency;
+      if (i == 0) uplink_done = tail_done;
+    }
+    port_->emit(pkt, head);
+    pool_.release(std::move(pkt.payload));
+    co_await eng_.sleep_until(uplink_done);
+    co_return;
+  }
+
+  auto& ep = endpoints_[pkt.dst];
+  assert(ep.slack && "destination NIC not attached");
 
   // Back-pressure: no injection until the destination NIC has SRAM for it.
   co_await ep.slack->acquire();
@@ -173,8 +209,7 @@ sim::Task<void> Fabric::transmit(WirePacket pkt) {
     co_return;
   }
 
-  const sim::Ps ser = static_cast<sim::Ps>(
-      p_.link_ps_per_byte * static_cast<double>(wire_bytes(pkt.payload.size())));
+  const sim::Ps ser = ser_time(pkt.payload.size());
   const auto& path = route(pkt.src, pkt.dst);
 
   // Cut-through reservation: on each link, start when the head arrives and
@@ -193,6 +228,59 @@ sim::Task<void> Fabric::transmit(WirePacket pkt) {
   eng_.spawn_daemon(deliver(std::move(pkt), arrival));
   // The sender NIC is occupied until its uplink finishes serializing.
   co_await eng_.sleep_until(uplink_done);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel (sharded) execution
+
+void Fabric::set_parallel(CrossShardPort* port,
+                          const std::int32_t* shard_of_node, int my_shard) {
+  port_ = port;
+  shard_of_node_ = shard_of_node;
+  my_shard_ = my_shard;
+  // Namespace wire sequence numbers by shard so they stay cluster-unique
+  // (they are debug/trace metadata; 48 bits of local counter is plenty).
+  next_seq_ = static_cast<std::uint64_t>(my_shard) << 48;
+}
+
+void Fabric::accept_remote(WirePacket pkt, sim::Ps head_arrival,
+                           std::uint64_t cross_key) {
+  // Park the packet and schedule a 16-byte callback: the cross-band key
+  // alone decides where this arrival sorts among same-timestamp events, so
+  // the drain order (and thread count) cannot affect the simulation.
+  std::uint32_t idx;
+  if (!free_parked_.empty()) {
+    idx = free_parked_.back();
+    free_parked_.pop_back();
+    parked_[idx].pkt = std::move(pkt);
+    parked_[idx].head = head_arrival;
+  } else {
+    idx = static_cast<std::uint32_t>(parked_.size());
+    parked_.push_back(Parked{std::move(pkt), head_arrival});
+  }
+  eng_.schedule_cross(head_arrival, cross_key,
+                      [this, idx] { launch_remote(idx); });
+}
+
+void Fabric::launch_remote(std::uint32_t idx) {
+  Parked p = std::move(parked_[idx]);
+  free_parked_.push_back(idx);
+  eng_.spawn_daemon(deliver_remote(std::move(p.pkt), p.head));
+}
+
+// Destination-side half of a cross-shard cut-through: the head reaches our
+// downlink at `head`; reserve it, wait out the destination NIC's SRAM
+// back-pressure, and deliver when the tail has propagated.
+sim::Task<void> Fabric::deliver_remote(WirePacket pkt, sim::Ps head) {
+  const sim::Ps ser = ser_time(pkt.payload.size());
+  Link* dn = down_[pkt.dst].get();
+  const sim::Ps tail_done = dn->ser.reserve_from(head, ser);
+  const sim::Ps arrival = tail_done + dn->latency;
+  auto& ep = endpoints_[pkt.dst];
+  assert(ep.slack && "destination NIC not attached");
+  co_await ep.slack->acquire();
+  co_await eng_.sleep_until(arrival);
+  co_await deliver_body(std::move(pkt));
 }
 
 }  // namespace fmx::net

@@ -28,6 +28,17 @@
 
 namespace fmx::net {
 
+/// Cross-shard transport used in parallel runs (myrinet/parallel_cluster.hpp).
+/// A fabric replica calls emit() for packets whose destination node lives on
+/// a different shard, after reserving all source-side links; `head_arrival`
+/// is the simulated time the packet's head reaches the destination's
+/// downlink — at least one lookahead in the future by construction.
+class CrossShardPort {
+ public:
+  virtual ~CrossShardPort() = default;
+  virtual void emit(const WirePacket& pkt, sim::Ps head_arrival) = 0;
+};
+
 class Fabric {
  public:
   Fabric(sim::Engine& eng, const FabricParams& p, int n_hosts);
@@ -78,6 +89,28 @@ class Fabric {
   trace::Tracer& tracer() noexcept { return tracer_; }
   const trace::Tracer& tracer() const noexcept { return tracer_; }
 
+  // --- Parallel (sharded) execution --------------------------------------
+  /// Minimum simulated time any packet needs to cross between shards: every
+  /// cross-shard path starts with the source's uplink, whose propagation is
+  /// link latency + the first switch's routing decision. This is the
+  /// conservative lookahead that bounds the parallel window width.
+  static sim::Ps cross_lookahead(const FabricParams& p) noexcept {
+    return p.link_latency + p.switch_latency;
+  }
+
+  /// Make this fabric one shard's replica of the cluster fabric.
+  /// `shard_of_node` maps node id -> owning shard (must outlive the
+  /// fabric); packets to non-local destinations go out through `port`, and
+  /// wire_seq values are namespaced by shard so they stay cluster-unique.
+  void set_parallel(CrossShardPort* port, const std::int32_t* shard_of_node,
+                    int my_shard);
+
+  /// Entry point for a packet emitted by a peer shard's replica: schedules
+  /// its delivery (downlink reservation, destination SRAM back-pressure,
+  /// fault hooks) at head_arrival with the deterministic cross-shard key.
+  void accept_remote(WirePacket pkt, sim::Ps head_arrival,
+                     std::uint64_t cross_key);
+
  private:
   struct Link {
     explicit Link(sim::Engine& eng, sim::Ps lat) : ser(eng), latency(lat) {}
@@ -95,8 +128,15 @@ class Fabric {
   /// suspending, so concurrent transmits never see each other's path.
   const std::vector<Link*>& route(int src, int dst);
   sim::Task<void> deliver(WirePacket pkt, sim::Ps at);
+  sim::Task<void> deliver_body(WirePacket pkt);
+  sim::Task<void> deliver_remote(WirePacket pkt, sim::Ps head);
   sim::Task<void> deliver_duplicate(WirePacket pkt);
+  void launch_remote(std::uint32_t idx);
   void maybe_corrupt(WirePacket& pkt);
+  sim::Ps ser_time(std::size_t payload) const noexcept {
+    return static_cast<sim::Ps>(p_.link_ps_per_byte *
+                                static_cast<double>(wire_bytes(payload)));
+  }
 
   sim::Engine& eng_;
   FabricParams p_;
@@ -114,6 +154,17 @@ class Fabric {
   Stats stats_;
   std::uint64_t next_seq_ = 0;
   sim::Rng rng_{0x9E3779B97F4A7C15ull};
+
+  // Parallel-mode state (null/unused in serial runs).
+  struct Parked {
+    WirePacket pkt;
+    sim::Ps head = 0;
+  };
+  CrossShardPort* port_ = nullptr;
+  const std::int32_t* shard_of_node_ = nullptr;
+  int my_shard_ = 0;
+  std::vector<Parked> parked_;  // remote arrivals awaiting their event
+  std::vector<std::uint32_t> free_parked_;
 };
 
 }  // namespace fmx::net

@@ -1,0 +1,259 @@
+#include "myrinet/parallel_cluster.hpp"
+
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <type_traits>
+
+namespace fmx::net {
+namespace {
+
+// Wire format of one cross-shard message: header + payload bytes in a ring
+// slot (or spill buffer). `ser` is recomputed from payload_len at the
+// destination, so only the head time crosses.
+struct CrossMsg {
+  sim::Ps head;            // head-arrival time at the dst downlink
+  std::uint64_t cross_key; // (src node << 44) | per-source-shard counter
+  std::uint64_t wire_seq;
+  std::uint64_t trace_id;
+  std::uint32_t crc;
+  std::uint32_t link_seq;
+  std::uint32_t ack;
+  std::uint32_t payload_len;
+  std::int32_t src;
+  std::int32_t dst;
+  std::uint8_t has_ack;
+  std::uint8_t ack_only;
+  std::uint8_t pad[6];
+};
+static_assert(std::is_trivially_copyable_v<CrossMsg>);
+
+void encode(std::byte* slot, const WirePacket& pkt, sim::Ps head,
+            std::uint64_t key) {
+  CrossMsg m{};
+  m.head = head;
+  m.cross_key = key;
+  m.wire_seq = pkt.wire_seq;
+  m.trace_id = pkt.trace_id;
+  m.crc = pkt.crc;
+  m.link_seq = pkt.link_seq;
+  m.ack = pkt.ack;
+  m.payload_len = static_cast<std::uint32_t>(pkt.payload.size());
+  m.src = pkt.src;
+  m.dst = pkt.dst;
+  m.has_ack = pkt.has_ack ? 1 : 0;
+  m.ack_only = pkt.ack_only ? 1 : 0;
+  std::memcpy(slot, &m, sizeof(m));
+  if (!pkt.payload.empty()) {
+    std::memcpy(slot + sizeof(m), pkt.payload.data(), pkt.payload.size());
+  }
+}
+
+void decode(const std::byte* slot, Fabric& dst_fabric) {
+  CrossMsg m;
+  std::memcpy(&m, slot, sizeof(m));
+  WirePacket pkt;
+  pkt.src = m.src;
+  pkt.dst = m.dst;
+  pkt.wire_seq = m.wire_seq;
+  pkt.trace_id = m.trace_id;
+  pkt.crc = m.crc;
+  pkt.link_seq = m.link_seq;
+  pkt.ack = m.ack;
+  pkt.has_ack = m.has_ack != 0;
+  pkt.ack_only = m.ack_only != 0;
+  pkt.payload = dst_fabric.pool().acquire(m.payload_len);
+  if (m.payload_len != 0) {
+    std::memcpy(pkt.payload.data(), slot + sizeof(m), m.payload_len);
+  }
+  dst_fabric.accept_remote(std::move(pkt), m.head, m.cross_key);
+}
+
+constexpr std::size_t kRingSlots = 256;
+
+}  // namespace
+
+// Source-shard side of the exchange: serialize into the (src,dst) ring, or
+// spill under the mutex when the ring is momentarily full / the payload is
+// oversized. One port per shard; emit() runs only on the shard's owner.
+class ParallelCluster::Port final : public CrossShardPort {
+ public:
+  Port(ParallelCluster* cl, int shard) : cl_(cl), shard_(shard) {}
+
+  void emit(const WirePacket& pkt, sim::Ps head) override {
+    // 60-bit keys: node id (16 bits) above a 44-bit per-source-shard
+    // counter. Assigned in shard-local program order, so the key sequence
+    // is independent of thread count.
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(pkt.src) << 44) | ctr_++;
+    assert((ctr_ & (std::uint64_t{1} << 44)) == 0 && "cross counter overflow");
+    Ring& r = cl_->ring(shard_, cl_->shard_of_[pkt.dst]);
+    const std::size_t need = sizeof(CrossMsg) + pkt.payload.size();
+    if (need <= r.ring.slot_bytes()) {
+      if (std::byte* slot = r.ring.try_push_slot()) {
+        encode(slot, pkt, head, key);
+        r.ring.commit_push();
+        return;
+      }
+    }
+    std::vector<std::byte> buf(need);
+    encode(buf.data(), pkt, head, key);
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.spill.push_back(std::move(buf));
+    r.spilled.store(static_cast<std::uint32_t>(r.spill.size()),
+                    std::memory_order_release);
+  }
+
+ private:
+  ParallelCluster* cl_;
+  int shard_;
+  std::uint64_t ctr_ = 0;
+};
+
+ParallelCluster::ParallelCluster(const ClusterParams& p, int n_shards)
+    : params_(p),
+      n_shards_(n_shards <= 0 || n_shards > p.n_hosts ? p.n_hosts : n_shards),
+      par_(n_shards_, Fabric::cross_lookahead(p.fabric)) {
+  // Contiguous node ranges per shard (aligns with switch locality).
+  shard_of_.resize(p.n_hosts);
+  for (int i = 0; i < p.n_hosts; ++i) {
+    shard_of_[i] = static_cast<std::int32_t>(
+        static_cast<std::int64_t>(i) * n_shards_ / p.n_hosts);
+  }
+
+  // Slot must fit the largest wire payload a NIC will send (MTU payload +
+  // the messaging layer's packet header); anything bigger takes the spill
+  // path, so this is a fast-path size, not a correctness limit.
+  const std::size_t slot_bytes = sizeof(CrossMsg) + p.nic.mtu_payload + 256;
+  rings_.resize(static_cast<std::size_t>(n_shards_) * n_shards_);
+  for (int s = 0; s < n_shards_; ++s) {
+    for (int t = 0; t < n_shards_; ++t) {
+      if (s != t) {
+        rings_[s * n_shards_ + t] =
+            std::make_unique<Ring>(kRingSlots, slot_bytes);
+      }
+    }
+  }
+
+  fabrics_.reserve(n_shards_);
+  ports_.reserve(n_shards_);
+  for (int s = 0; s < n_shards_; ++s) {
+    fabrics_.push_back(
+        std::make_unique<Fabric>(par_.shard(s), p.fabric, p.n_hosts));
+    ports_.push_back(std::make_unique<Port>(this, s));
+    fabrics_[s]->set_parallel(ports_[s].get(), shard_of_.data(), s);
+    par_.set_drain(s, [this, s] { drain_into(s); });
+  }
+
+  nodes_.reserve(p.n_hosts);
+  for (int i = 0; i < p.n_hosts; ++i) {
+    const int s = shard_of_[i];
+    nodes_.push_back(
+        std::make_unique<Node>(par_.shard(s), i, p, *fabrics_[s]));
+  }
+  expose_metrics();
+}
+
+ParallelCluster::~ParallelCluster() = default;
+
+void ParallelCluster::drain_into(int dst_shard) {
+  Fabric& f = *fabrics_[dst_shard];
+  for (int s = 0; s < n_shards_; ++s) {
+    if (s == dst_shard) continue;
+    Ring& r = ring(s, dst_shard);
+    while (const std::byte* slot = r.ring.front()) {
+      decode(slot, f);
+      r.ring.pop();
+    }
+    if (r.spilled.load(std::memory_order_acquire) != 0) {
+      std::vector<std::vector<std::byte>> taken;
+      {
+        std::lock_guard<std::mutex> lock(r.mu);
+        taken.swap(r.spill);
+        r.spilled.store(0, std::memory_order_release);
+      }
+      for (const auto& buf : taken) decode(buf.data(), f);
+    }
+  }
+}
+
+ParallelCluster::RunResult ParallelCluster::run(int n_threads) {
+  if (n_threads <= 0) {
+    n_threads = env_threads();
+    if (n_threads <= 0) n_threads = 1;
+  }
+  sim::ParallelEngine::RunResult r = par_.run(n_threads);
+  return RunResult{r.events, r.windows, r.pending_roots};
+}
+
+int ParallelCluster::env_threads() {
+  const char* v = std::getenv("FMX_THREADS");
+  if (v == nullptr) return 0;
+  const int n = std::atoi(v);
+  return n > 0 ? n : 0;
+}
+
+void ParallelCluster::enable_tracing(std::size_t capacity_events) {
+  for (auto& f : fabrics_) f->tracer().enable(capacity_events);
+}
+
+std::vector<trace::Event> ParallelCluster::merged_trace() const {
+  std::vector<std::vector<trace::Event>> streams;
+  streams.reserve(fabrics_.size());
+  for (const auto& f : fabrics_) streams.push_back(f->tracer().events());
+  return trace::merge_streams(streams);
+}
+
+Fabric::Stats ParallelCluster::fabric_stats() const {
+  Fabric::Stats out;
+  for (const auto& f : fabrics_) {
+    const Fabric::Stats& s = f->stats();
+    out.packets += s.packets;
+    out.payload_bytes += s.payload_bytes;
+    out.corrupted += s.corrupted;
+    out.dropped += s.dropped;
+    out.duplicated += s.duplicated;
+    out.delayed += s.delayed;
+  }
+  return out;
+}
+
+// Mirror of Cluster::expose_metrics, scoped per shard: every shard's tracer
+// sees its own fabric replica, pool, and the nodes it owns.
+void ParallelCluster::expose_metrics() {
+  for (int s = 0; s < n_shards_; ++s) {
+    trace::MetricsRegistry& m = fabrics_[s]->tracer().metrics();
+    const Fabric::Stats& fs = fabrics_[s]->stats();
+    m.expose("fabric.packets", &fs.packets);
+    m.expose("fabric.payload_bytes", &fs.payload_bytes);
+    m.expose("fabric.corrupted", &fs.corrupted);
+    m.expose("fabric.dropped", &fs.dropped);
+    m.expose("fabric.duplicated", &fs.duplicated);
+    m.expose("fabric.delayed", &fs.delayed);
+    const BufferPool::Stats& ps = fabrics_[s]->pool().stats();
+    m.expose("pool.acquires", &ps.acquires);
+    m.expose("pool.hits", &ps.pool_hits);
+    m.expose("pool.misses", &ps.fresh_allocs);
+    m.expose("pool.releases", &ps.releases);
+  }
+  for (const auto& n : nodes_) {
+    trace::MetricsRegistry& m =
+        fabrics_[shard_of_[n->id()]]->tracer().metrics();
+    const std::string pre = "node" + std::to_string(n->id()) + ".";
+    const Nic::Stats& ns = n->nic().stats();
+    m.expose(pre + "nic.tx_packets", &ns.tx_packets);
+    m.expose(pre + "nic.rx_packets", &ns.rx_packets);
+    m.expose(pre + "nic.crc_dropped", &ns.crc_dropped);
+    m.expose(pre + "nic.retransmissions", &ns.retransmissions);
+    m.expose(pre + "nic.acks_sent", &ns.acks_sent);
+    m.expose(pre + "nic.seq_dropped", &ns.seq_dropped);
+    const sim::CostLedger& hl = n->host().ledger();
+    m.expose(pre + "host.copies", hl.copies_cell());
+    m.expose(pre + "host.copied_bytes", hl.copied_bytes_cell());
+    m.expose(pre + "host.pool_misses", hl.allocs_cell());
+    m.expose(pre + "host.pool_miss_bytes", hl.alloc_bytes_cell());
+  }
+}
+
+}  // namespace fmx::net

@@ -1,0 +1,126 @@
+// Sharded cluster for conservative parallel execution (sim/parallel.hpp).
+//
+// Partitioning: each shard owns a contiguous range of nodes (host + I/O bus
+// + NIC — all of a node's events stay on its shard) plus its own replica of
+// the switch fabric. A replica carries the full link topology, but only the
+// links a shard arbitrates matter: a packet to a local destination runs the
+// ordinary serial path; a packet to a remote destination reserves its
+// source-side links here, then crosses to the destination shard through a
+// bounded SPSC ring with its head-arrival time and a deterministic order
+// key (source node, per-source counter). The destination replica reserves
+// the final downlink, applies SRAM back-pressure and fault hooks, and
+// delivers — so per-packet semantics are identical at every thread count.
+//
+// Each shard also gets its own buffer pool, tracer, RNG, and (optionally)
+// fault injector, so no mutable state is shared between shards; workers
+// only meet at window barriers and ring publishes. Per-shard traces merge
+// deterministically via trace::merge_streams.
+//
+// Note on fidelity vs the single-engine Cluster: back-pressure on a
+// cross-shard path is exerted at the destination's downlink (where the
+// STOP/GO signal physically originates) instead of at injection time, and
+// inter-switch links are arbitrated per source shard. Single-switch
+// clusters (n_hosts <= hosts_per_switch, e.g. the 8-node FM2 preset) have
+// no inter-switch links, so only the back-pressure timing differs from the
+// serial Cluster; results are bit-identical across thread counts either
+// way, with 1-thread parallel mode as the reference.
+//
+// Workload code must keep its conditions node-local: a poll_until on one
+// node watching state mutated by another node's handler worked on the
+// single-engine Cluster (any event re-polls) but deadlocks here — once the
+// watcher's shard goes idle, nothing local wakes the poller. Have each
+// node wait on its own counters (run() reports such stuck tasks in
+// RunResult::pending_roots).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "myrinet/node.hpp"
+#include "sim/parallel.hpp"
+#include "sim/spsc.hpp"
+#include "trace/trace.hpp"
+
+namespace fmx::net {
+
+class ParallelCluster {
+ public:
+  /// `n_shards` defaults (0) to one shard per node.
+  explicit ParallelCluster(const ClusterParams& p, int n_shards = 0);
+  ParallelCluster(const ParallelCluster&) = delete;
+  ParallelCluster& operator=(const ParallelCluster&) = delete;
+  ~ParallelCluster();
+
+  int size() const noexcept { return params_.n_hosts; }
+  int n_shards() const noexcept { return n_shards_; }
+  int shard_of(int node) const { return shard_of_[node]; }
+  const ClusterParams& params() const noexcept { return params_; }
+
+  sim::ParallelEngine& par() noexcept { return par_; }
+  sim::Engine& shard_engine(int s) { return par_.shard(s); }
+  sim::Engine& engine_of(int node) { return par_.shard(shard_of_[node]); }
+  Fabric& shard_fabric(int s) { return *fabrics_[s]; }
+  Fabric& fabric_of(int node) { return *fabrics_[shard_of_[node]]; }
+  Node& node(int i) { return *nodes_[i]; }
+
+  /// Spawn a root task on the shard that owns `node` (engine clocks are in
+  /// lockstep only at barriers; spawn before run() or from node-local code).
+  void spawn_on(int node, sim::Task<void> t) {
+    engine_of(node).spawn(std::move(t));
+  }
+
+  struct RunResult {
+    std::uint64_t events = 0;
+    std::uint64_t windows = 0;
+    int pending_roots = 0;
+  };
+  /// Run to global quiescence. `n_threads` 0 means: $FMX_THREADS if set,
+  /// else 1. Results are identical for every thread count.
+  RunResult run(int n_threads = 0);
+
+  /// Thread count requested via $FMX_THREADS (0 if unset/invalid).
+  static int env_threads();
+
+  /// Enable tracing on every shard's tracer (per-shard capacity).
+  void enable_tracing(std::size_t capacity_events = 1 << 18);
+  /// Deterministically merged trace across all shards.
+  std::vector<trace::Event> merged_trace() const;
+
+  /// Fabric stats summed across replicas (packets/bytes count on the source
+  /// shard; drops/corruptions/duplicates on the destination shard).
+  Fabric::Stats fabric_stats() const;
+
+ private:
+  class Port;
+  // One directed ring per shard pair. Ring overflow (bounded by design:
+  // FM-level credits cap in-flight data) falls back to a mutex-guarded
+  // spill vector; order between ring and spill is irrelevant because
+  // arrivals sort by their cross keys, not by drain order.
+  struct Ring {
+    Ring(std::size_t slots, std::size_t slot_bytes) : ring(slots, slot_bytes) {}
+    sim::SpscSlotRing ring;
+    std::mutex mu;
+    std::vector<std::vector<std::byte>> spill;
+    std::atomic<std::uint32_t> spilled{0};
+  };
+
+  Ring& ring(int src_shard, int dst_shard) {
+    return *rings_[src_shard * n_shards_ + dst_shard];
+  }
+  void drain_into(int dst_shard);
+  void expose_metrics();
+
+  ClusterParams params_;
+  int n_shards_;
+  std::vector<std::int32_t> shard_of_;
+  sim::ParallelEngine par_;
+  std::vector<std::unique_ptr<Fabric>> fabrics_;
+  std::vector<std::unique_ptr<Port>> ports_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace fmx::net

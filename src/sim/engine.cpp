@@ -47,6 +47,22 @@ void Engine::schedule_at(Ps t, SmallFn fn) {
       HeapEvent{t, next_seq_++, (static_cast<std::uintptr_t>(slot) << 1) | 1});
 }
 
+void Engine::schedule_cross(Ps t, std::uint64_t key, SmallFn fn) {
+  assert(t >= now_ && "cannot schedule in the past");
+  assert(key < kCrossSeqBand && "cross-shard key must leave the band bit 0");
+  std::uint32_t slot;
+  if (!free_fn_slots_.empty()) {
+    slot = free_fn_slots_.back();
+    free_fn_slots_.pop_back();
+    fn_slots_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<std::uint32_t>(fn_slots_.size());
+    fn_slots_.push_back(std::move(fn));
+  }
+  queue_.push(HeapEvent{t, kCrossSeqBand | key,
+                        (static_cast<std::uintptr_t>(slot) << 1) | 1});
+}
+
 void Engine::schedule_at(Ps t, std::coroutine_handle<> h) {
   assert(t >= now_ && "cannot schedule in the past");
   auto addr = reinterpret_cast<std::uintptr_t>(h.address());

@@ -128,6 +128,21 @@ class Engine {
   /// Schedule a callback at absolute time t (>= now).
   void schedule_at(Ps t, SmallFn fn);
   void schedule_at(Ps t, std::coroutine_handle<> h);
+
+  /// Sequence-number band reserved for cross-shard arrivals in parallel
+  /// runs (sim/parallel.hpp). Locally-scheduled events use the incrementing
+  /// counter below this bit, so at equal timestamps every local event
+  /// precedes every cross-shard event, and cross-shard events order among
+  /// themselves by their explicit key — which the sender derives from
+  /// (source node, per-source counter). The merged order therefore depends
+  /// only on simulated state, never on when a peer shard's messages were
+  /// drained, which is what makes parallel execution bit-identical at any
+  /// thread count.
+  static constexpr std::uint64_t kCrossSeqBand = std::uint64_t{1} << 63;
+
+  /// Schedule a cross-shard arrival at absolute time t (>= now) with an
+  /// explicit tie-break key (< kCrossSeqBand) instead of the local counter.
+  void schedule_cross(Ps t, std::uint64_t key, SmallFn fn);
   void schedule_in(Ps dt, SmallFn fn) { schedule_at(now_ + dt, std::move(fn)); }
   void schedule_in(Ps dt, std::coroutine_handle<> h) {
     schedule_at(now_ + dt, h);
@@ -157,6 +172,12 @@ class Engine {
 
   bool idle() const noexcept { return queue_.empty(); }
   std::uint64_t events_processed() const noexcept { return processed_; }
+
+  /// Timestamp of the earliest pending event, or Ps max when idle. Used by
+  /// the parallel scheduler to pick the next conservative window.
+  Ps next_event_time() const noexcept {
+    return queue_.empty() ? std::numeric_limits<Ps>::max() : queue_.min_time();
+  }
 
   /// Unfinished root tasks. Nonzero after run() to exhaustion == deadlock.
   int pending_roots() const noexcept { return live_roots_; }

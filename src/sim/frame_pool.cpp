@@ -26,8 +26,13 @@ struct Pool {
   FramePoolStats stats;
 };
 
+// One pool per thread: each parallel-run worker (sim/parallel.hpp) recycles
+// frames through its own free lists with no synchronization, preserving the
+// allocation-free steady state per shard. A frame is always freed on the
+// thread that is running its coroutine, so alloc and free hit the same
+// pool; slabs are retained for the life of the thread.
 Pool& pool() {
-  static Pool p;
+  thread_local Pool p;
   return p;
 }
 

@@ -5,10 +5,11 @@
 // run millions of times), so a per-size free list reaches steady state after
 // warm-up and the simulation's hot paths stop allocating entirely.
 //
-// The simulation is single-threaded by design (see sim/engine.hpp); the pool
-// shares that contract and is deliberately not thread-safe. Memory is carved
-// from slabs that are retained for the life of the process — frames are
-// recycled, never returned to malloc.
+// Each thread gets its own pool (thread_local): a shard engine driven by a
+// parallel-run worker (sim/parallel.hpp) recycles frames through its own
+// free lists with no locks, keeping the hot path allocation-free per shard.
+// Memory is carved from slabs that are retained for the life of the thread —
+// frames are recycled, never returned to malloc.
 #pragma once
 
 #include <cstddef>
@@ -31,6 +32,7 @@ void frame_free(void* p, std::size_t n) noexcept;
 
 }  // namespace detail
 
+/// Counters for the calling thread's pool (pools are thread_local).
 const FramePoolStats& frame_pool_stats() noexcept;
 
 /// Mixin: give a coroutine promise pooled frame allocation.

@@ -1,0 +1,125 @@
+#include "sim/parallel.hpp"
+
+#include <cassert>
+#include <limits>
+#include <thread>
+
+namespace fmx::sim {
+namespace {
+
+constexpr Ps kNever = std::numeric_limits<Ps>::max();
+
+}  // namespace
+
+// Sense-reversing spin barrier. The epilogue of the last arriver runs while
+// every other thread waits, so it may read and write the shared window
+// state without locks; its writes are published by the generation bump
+// (release) and observed through the waiters' acquire loads. Spins fall
+// back to yield so progress is reasonable even with more workers than
+// cores (CI machines, TSAN runs).
+struct ParallelEngine::Shared {
+  explicit Shared(int n) : n_threads(n) {}
+
+  template <typename F>
+  void arrive_and_wait(F&& epilogue) {
+    const std::uint32_t g = gen.load(std::memory_order_acquire);
+    if (arrived.fetch_add(1, std::memory_order_acq_rel) + 1 == n_threads) {
+      epilogue();
+      arrived.store(0, std::memory_order_relaxed);
+      gen.store(g + 1, std::memory_order_release);
+    } else {
+      int spins = 0;
+      while (gen.load(std::memory_order_acquire) == g) {
+        if (++spins > 128) std::this_thread::yield();
+      }
+    }
+  }
+
+  const int n_threads;
+  std::atomic<std::uint32_t> arrived{0};
+  std::atomic<std::uint32_t> gen{0};
+  std::atomic<std::uint64_t> events{0};
+  // Written only by barrier epilogues, read by all workers between
+  // barriers — synchronized via the generation counter.
+  Ps win_end = 0;
+  std::uint64_t windows = 0;
+  bool done = false;
+};
+
+ParallelEngine::ParallelEngine(int n_shards, Ps lookahead)
+    : lookahead_(lookahead) {
+  assert(n_shards >= 1);
+  assert(lookahead >= 1 && "zero lookahead cannot make progress");
+  shards_.reserve(n_shards);
+  for (int i = 0; i < n_shards; ++i) {
+    shards_.push_back(std::make_unique<Engine>());
+  }
+  drains_.resize(n_shards);
+}
+
+ParallelEngine::~ParallelEngine() = default;
+
+void ParallelEngine::set_drain(int shard, std::function<void()> fn) {
+  drains_[shard] = std::move(fn);
+}
+
+void ParallelEngine::worker(int w, int n_threads, Shared& sh) {
+  const int k = n_shards();
+  std::uint64_t local_events = 0;
+  for (;;) {
+    // Drain phase: rings hold exactly what peers published before the last
+    // barrier; no one is running, so nothing new appears mid-drain.
+    for (int s = w; s < k; s += n_threads) {
+      if (drains_[s]) drains_[s]();
+    }
+    sh.arrive_and_wait([&] {
+      // All drains complete: every pending interaction is now an engine
+      // event, so the next window starts at the global minimum event time
+      // (skipping idle gaps) and quiescence is simply "all shards idle".
+      Ps m = kNever;
+      for (const auto& e : shards_) {
+        const Ps t = e->next_event_time();
+        if (t < m) m = t;
+      }
+      if (m == kNever) {
+        sh.done = true;
+      } else {
+        sh.win_end = m + lookahead_;
+        ++sh.windows;
+      }
+    });
+    if (sh.done) break;
+    const Ps until = sh.win_end - 1;
+    for (int s = w; s < k; s += n_threads) {
+      local_events += shards_[s]->run(until);
+    }
+    // Publish this window's cross-shard messages before anyone drains.
+    sh.arrive_and_wait([] {});
+  }
+  sh.events.fetch_add(local_events, std::memory_order_relaxed);
+}
+
+ParallelEngine::RunResult ParallelEngine::run(int n_threads) {
+  const int k = n_shards();
+  if (n_threads < 1) n_threads = 1;
+  if (n_threads > k) n_threads = k;
+  Shared sh(n_threads);
+  if (n_threads == 1) {
+    worker(0, 1, sh);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(n_threads - 1);
+    for (int w = 1; w < n_threads; ++w) {
+      pool.emplace_back([this, w, n_threads, &sh] { worker(w, n_threads, sh); });
+    }
+    worker(0, n_threads, sh);
+    for (auto& t : pool) t.join();
+  }
+  RunResult r;
+  r.events = sh.events.load(std::memory_order_relaxed);
+  r.windows = sh.windows;
+  for (const auto& e : shards_) r.pending_roots += e->pending_roots();
+  return r;
+}
+
+}  // namespace fmx::sim

@@ -1,0 +1,80 @@
+// Conservative parallel discrete-event execution (Chandy–Misra-style
+// lookahead windows, PAPERS.md parallel-simulation entries).
+//
+// The cluster is partitioned into shards, each owning a private Engine; a
+// worker-thread pool advances all shards through a sequence of windows
+// [W, W + lookahead). `lookahead` is the minimum simulated time any
+// cross-shard interaction needs to propagate (for the Myrinet fabric: link
+// propagation + the first switch hop, see net::Fabric::cross_lookahead), so
+// within a window shards cannot affect each other and run lock-free.
+//
+// Each window is two barrier phases:
+//   drain:  every shard converts the cross-shard messages its peers
+//           published last window into engine events (at their future
+//           arrival times — guaranteed >= the window end by lookahead).
+//   run:    every shard executes its events in [W, W + lookahead).
+// The last thread to arrive at the post-drain barrier picks the next
+// window start = the global minimum pending-event time (idle periods are
+// skipped entirely) and detects termination (all shards idle; rings are
+// always empty here because drains consumed everything published before
+// the preceding barrier).
+//
+// Determinism: the window sequence is a pure function of engine state at
+// barriers, and cross-shard events order by explicit keys in a sequence
+// band above all local events (Engine::kCrossSeqBand) — so event pop order
+// per shard, and hence every simulated result, is bit-identical at any
+// thread count, including 1.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace fmx::sim {
+
+class ParallelEngine {
+ public:
+  /// `lookahead` must be >= 1 ps (windows would otherwise be empty).
+  ParallelEngine(int n_shards, Ps lookahead);
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+  ~ParallelEngine();
+
+  int n_shards() const noexcept { return static_cast<int>(shards_.size()); }
+  Ps lookahead() const noexcept { return lookahead_; }
+  Engine& shard(int i) { return *shards_[i]; }
+  const Engine& shard(int i) const { return *shards_[i]; }
+
+  /// Install the per-shard drain hook, invoked on the shard's owning worker
+  /// at the start of every window (before any shard runs). It must convert
+  /// every message published to this shard into engine events via
+  /// Engine::schedule_cross.
+  void set_drain(int shard, std::function<void()> fn);
+
+  struct RunResult {
+    std::uint64_t events = 0;   ///< events processed across all shards
+    std::uint64_t windows = 0;  ///< lookahead windows executed
+    int pending_roots = 0;      ///< unfinished roots (deadlock if nonzero)
+  };
+
+  /// Run all shards to global quiescence on `n_threads` workers (clamped to
+  /// [1, n_shards]). Shard s is owned by worker s % n_threads for the whole
+  /// run. May be called again after it returns (e.g. a second traffic wave
+  /// spawned on the shard engines).
+  RunResult run(int n_threads);
+
+ private:
+  struct Shared;  // per-run barrier + window state
+  void worker(int w, int n_threads, Shared& sh);
+
+  Ps lookahead_;
+  std::vector<std::unique_ptr<Engine>> shards_;
+  std::vector<std::function<void()>> drains_;
+};
+
+}  // namespace fmx::sim

@@ -87,4 +87,27 @@ std::vector<Event> Tracer::events() const {
   return out;
 }
 
+std::vector<Event> merge_streams(
+    const std::vector<std::vector<Event>>& streams) {
+  std::size_t total = 0;
+  for (const auto& s : streams) total += s.size();
+  std::vector<Event> out;
+  out.reserve(total);
+  std::vector<std::size_t> cur(streams.size(), 0);
+  // K is small (shard count); a linear scan per event beats a heap here
+  // and keeps ties resolving in stream order by construction.
+  for (std::size_t n = 0; n < total; ++n) {
+    std::size_t best = streams.size();
+    for (std::size_t k = 0; k < streams.size(); ++k) {
+      if (cur[k] >= streams[k].size()) continue;
+      if (best == streams.size() ||
+          streams[k][cur[k]].t < streams[best][cur[best]].t) {
+        best = k;
+      }
+    }
+    out.push_back(streams[best][cur[best]++]);
+  }
+  return out;
+}
+
 }  // namespace fmx::trace

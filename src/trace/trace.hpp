@@ -67,6 +67,13 @@ struct Event {
   EventType type = EventType::kCount;
 };
 
+/// Deterministic merge of per-shard trace streams from a parallel run
+/// (myrinet/parallel_cluster.hpp): each stream is time-nondecreasing, and
+/// ties merge in stream order. Shard assignment is fixed per cluster, so
+/// the merged sequence is identical at every thread count.
+std::vector<Event> merge_streams(
+    const std::vector<std::vector<Event>>& streams);
+
 class Tracer {
  public:
   /// Events per ring chunk. Chunks are recycled whole, oldest first.
