@@ -31,6 +31,7 @@
 
 #include "alloc_hook.hpp"
 #include "bench_util.hpp"
+#include "common/copy_stats.hpp"
 #include "sim/engine.hpp"
 #include "trace/trace.hpp"
 
@@ -91,6 +92,20 @@ int main(int argc, char** argv) {
   stream(eng, tx, rx, got, ByteSpan{msg}, warmup_msgs);
   cluster.fabric().tracer().disable();
 
+  // Physical vs modeled copies over one measured stream (the workload is
+  // deterministic, so rep 0 speaks for all reps). real_* is what the
+  // simulator process actually memcpy'd; modeled_* is what the cost model
+  // charged the simulated hosts. The zero-copy data plane means the only
+  // real copies left are the modeled endpoint ones — per-hop real copies
+  // (retention, duplication, staging) must be zero in a serial run.
+  CopyStats::instance().reset();
+  const std::uint64_t mod_copies0 =
+      tx.host().ledger().copies() + rx.host().ledger().copies();
+  const std::uint64_t mod_bytes0 =
+      tx.host().ledger().copied_bytes() + rx.host().ledger().copied_bytes();
+  CopyStats::Snapshot real{};
+  std::uint64_t modeled_copies = 0, modeled_copy_bytes = 0;
+
   std::vector<Rep> plain(reps), traced(reps);
   for (int r = 0; r < reps; ++r) {
     bench::alloc_hook_reset();
@@ -98,6 +113,13 @@ int main(int argc, char** argv) {
     const auto t0 = Clock::now();
     plain[r].events = stream(eng, tx, rx, got, ByteSpan{msg}, n_msgs);
     const auto t1 = Clock::now();
+    if (r == 0) {
+      real = CopyStats::instance().snapshot();
+      modeled_copies = tx.host().ledger().copies() +
+                       rx.host().ledger().copies() - mod_copies0;
+      modeled_copy_bytes = tx.host().ledger().copied_bytes() +
+                           rx.host().ledger().copied_bytes() - mod_bytes0;
+    }
     plain[r].allocs = bench::alloc_hook_count();
     plain[r].alloc_bytes = bench::alloc_hook_bytes();
     plain[r].wall_s = std::chrono::duration<double>(t1 - t0).count();
@@ -149,6 +171,14 @@ int main(int argc, char** argv) {
   std::printf("  tracing on:        %.3g events/sec, %.6f allocs/event, "
               "%.1f%% overhead\n", traced_events_per_sec,
               traced_allocs_per_event, trace_overhead_pct);
+  std::printf("  real copies        %llu endpoint (%llu B), %llu per-hop "
+              "(%llu B); modeled %llu (%llu B)\n",
+              static_cast<unsigned long long>(real.endpoint_copies),
+              static_cast<unsigned long long>(real.endpoint_bytes),
+              static_cast<unsigned long long>(real.hop_copies),
+              static_cast<unsigned long long>(real.hop_bytes),
+              static_cast<unsigned long long>(modeled_copies),
+              static_cast<unsigned long long>(modeled_copy_bytes));
 
   std::FILE* f = std::fopen(out_path, "w");
   if (!f) {
@@ -174,7 +204,13 @@ int main(int argc, char** argv) {
                "  \"allocs_per_event\": %.6f,\n"
                "  \"traced_events_per_sec\": %.1f,\n"
                "  \"traced_allocs_per_event\": %.6f,\n"
-               "  \"trace_overhead_pct\": %.2f\n"
+               "  \"trace_overhead_pct\": %.2f,\n"
+               "  \"real_copies\": %llu,\n"
+               "  \"real_copy_bytes\": %llu,\n"
+               "  \"real_hop_copies\": %llu,\n"
+               "  \"real_hop_copy_bytes\": %llu,\n"
+               "  \"modeled_copies\": %llu,\n"
+               "  \"modeled_copy_bytes\": %llu\n"
                "}\n",
                msg_size, n_msgs, reps,
                std::thread::hardware_concurrency(),
@@ -185,7 +221,13 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(max_allocs),
                static_cast<unsigned long long>(max_alloc_bytes),
                allocs_per_event, traced_events_per_sec,
-               traced_allocs_per_event, trace_overhead_pct);
+               traced_allocs_per_event, trace_overhead_pct,
+               static_cast<unsigned long long>(real.endpoint_copies),
+               static_cast<unsigned long long>(real.endpoint_bytes),
+               static_cast<unsigned long long>(real.hop_copies),
+               static_cast<unsigned long long>(real.hop_bytes),
+               static_cast<unsigned long long>(modeled_copies),
+               static_cast<unsigned long long>(modeled_copy_bytes));
   std::fclose(f);
   std::printf("wrote %s\n", out_path);
   return 0;

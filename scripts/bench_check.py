@@ -90,6 +90,35 @@ def check_substrate(args) -> bool:
                   "steady state (the ring must be preallocated at "
                   "enable())", file=sys.stderr)
             ok = False
+
+    # Zero-copy data-plane gates (keys absent from pre-zero-copy baselines
+    # and binaries — skip then). Serial steady state must do no physical
+    # per-hop payload copies, and the *modeled* copy count per message must
+    # not drift: zero-copy is a simulator optimisation, not a change to
+    # what the simulated machine is charged.
+    hop_copies = cur.get("real_hop_copies")
+    if hop_copies is not None:
+        print(f"bench_check: real copies/msg "
+              f"{cur['real_copies'] / cur['n_msgs']:.1f} endpoint, "
+              f"{hop_copies} per-hop total; modeled copies/msg "
+              f"{cur['modeled_copies'] / cur['n_msgs']:.1f}")
+        if hop_copies != 0:
+            print("bench_check: REGRESSION: physical per-hop payload "
+                  "copies returned to the serial wire path (NIC "
+                  "retention, staging or COW is copying again)",
+                  file=sys.stderr)
+            ok = False
+        base_mod = base.get("modeled_copies")
+        if base_mod is not None:
+            # Exact rational compare of copies-per-message: run lengths
+            # differ between the gate and the committed baseline.
+            if cur["modeled_copies"] * base["n_msgs"] != \
+                    base_mod * cur["n_msgs"]:
+                print("bench_check: REGRESSION: modeled copies per message "
+                      f"changed ({cur['modeled_copies']}/{cur['n_msgs']} "
+                      f"msgs vs baseline {base_mod}/{base['n_msgs']})",
+                      file=sys.stderr)
+                ok = False
     return ok
 
 

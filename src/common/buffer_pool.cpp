@@ -46,6 +46,58 @@ Bytes BufferPool::acquire(std::size_t n, bool* fresh) {
   return b;
 }
 
+BufferPool::~BufferPool() {
+  for (auto& cls : free_blocks_) {
+    for (detail::BlockHeader* h : cls) detail::free_block(h);
+  }
+}
+
+BufferRef BufferPool::acquire_ref(std::size_t n, bool* fresh) {
+  return BufferRef::adopt(take_block(n, fresh));
+}
+
+detail::BlockHeader* BufferPool::take_block(std::size_t n, bool* fresh) {
+  ++stats_.acquires;
+  if (++stats_.outstanding > stats_.outstanding_high) {
+    stats_.outstanding_high = stats_.outstanding;
+  }
+  std::size_t cls = class_for_request(n);
+  detail::BlockHeader* h = nullptr;
+  if (cls < kClasses && !free_blocks_[cls].empty()) {
+    h = free_blocks_[cls].back();
+    free_blocks_[cls].pop_back();
+    --stats_.free_buffers;
+    ++stats_.pool_hits;
+    if (fresh != nullptr) *fresh = false;
+  } else {
+    // Round up to the class capacity so the block lands back in the same
+    // class on return regardless of n (oversize requests keep exact size).
+    std::size_t cap = cls < kClasses ? (std::size_t{1} << (cls + kMinClassLog2)) : n;
+    h = detail::alloc_block(cap);
+    ++stats_.fresh_allocs;
+    if (fresh != nullptr) *fresh = true;
+  }
+  h->refs = 1;
+  h->size = static_cast<std::uint32_t>(n);
+  h->crc_valid = false;
+  h->pool = this;
+  return h;
+}
+
+void BufferPool::return_block(detail::BlockHeader* h) noexcept {
+  ++stats_.releases;
+  if (stats_.outstanding > 0) --stats_.outstanding;
+  std::size_t cls = class_for_capacity(h->capacity);
+  if (cls >= kClasses || free_blocks_[cls].size() >= kRetainPerClass) {
+    detail::free_block(h);
+    return;
+  }
+  free_blocks_[cls].push_back(h);
+  if (++stats_.free_buffers > stats_.free_high) {
+    stats_.free_high = stats_.free_buffers;
+  }
+}
+
 void BufferPool::release(Bytes&& b) {
   if (b.capacity() == 0) return;
   ++stats_.releases;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/buffer.hpp"
+#include "common/buffer_ref.hpp"
 
 namespace fmx {
 
@@ -38,6 +39,7 @@ class BufferPool {
   BufferPool() = default;
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
+  ~BufferPool();
 
   /// Get a buffer with size() == n. Reuses a pooled buffer whose capacity
   /// covers n when one is available. If `fresh` is non-null it is set to
@@ -49,9 +51,23 @@ class BufferPool {
   /// to the allocator so a burst can't pin memory forever.
   void release(Bytes&& b);
 
+  /// Refcounted sibling of acquire(): a unique BufferRef with size() == n,
+  /// backed by an intrusively-headed block recycled through the pool when
+  /// the last reference drops. The bytes are NOT initialized (no hidden
+  /// zero-fill — producers overwrite the full view).
+  BufferRef acquire_ref(std::size_t n, bool* fresh = nullptr);
+
   const Stats& stats() const noexcept { return stats_; }
 
  private:
+  friend class BufferRef;
+
+  /// Pop (or allocate) a block covering n; refs=1, size=n, pool=this.
+  detail::BlockHeader* take_block(std::size_t n, bool* fresh);
+  /// Dead block coming home (refs hit zero). Shares the retain policy and
+  /// Stats counters with the Bytes side.
+  void return_block(detail::BlockHeader* h) noexcept;
+
   // Capacity classes 2^6 (64 B) .. 2^20 (1 MiB); anything larger is clamped
   // into the top class (its capacity still covers any request routed there).
   static constexpr std::size_t kMinClassLog2 = 6;
@@ -63,6 +79,7 @@ class BufferPool {
   static std::size_t class_for_capacity(std::size_t cap) noexcept;
 
   std::array<std::vector<Bytes>, kClasses> free_;
+  std::array<std::vector<detail::BlockHeader*>, kClasses> free_blocks_;
   Stats stats_;
 };
 

@@ -1,0 +1,56 @@
+#include "common/buffer_ref.hpp"
+
+#include <cstring>
+#include <new>
+
+#include "common/buffer_pool.hpp"
+#include "common/copy_stats.hpp"
+
+namespace fmx {
+namespace detail {
+
+BlockHeader* alloc_block(std::size_t capacity) {
+  void* mem = ::operator new(sizeof(BlockHeader) + capacity);
+  auto* h = new (mem) BlockHeader{};
+  h->refs = 1;
+  h->capacity = static_cast<std::uint32_t>(capacity);
+  h->size = h->capacity;
+  return h;
+}
+
+void free_block(BlockHeader* h) noexcept {
+  h->~BlockHeader();
+  ::operator delete(h);
+}
+
+}  // namespace detail
+
+void BufferRef::release_block(detail::BlockHeader* h) noexcept {
+  if (h->pool != nullptr) {
+    h->pool->return_block(h);
+  } else {
+    detail::free_block(h);
+  }
+}
+
+// Clone the visible view into a fresh block and retarget this reference.
+// Precondition: h_->refs > 1 (the shared block stays alive for siblings).
+void BufferRef::cow_clone() {
+  detail::BlockHeader* nh = h_->pool != nullptr
+                                ? h_->pool->take_block(len_, nullptr)
+                                : detail::alloc_block(len_);
+  nh->size = len_;
+  std::memcpy(nh->data(), h_->data() + off_, len_);
+  count_hop_copy(len_);
+  --h_->refs;
+  h_ = nh;
+  off_ = 0;
+}
+
+BufferRef BufferRef::copy_of(ByteSpan src) {
+  detail::BlockHeader* h = detail::alloc_block(src.size());
+  if (!src.empty()) std::memcpy(h->data(), src.data(), src.size());
+  return adopt(h);
+}
+
+}  // namespace fmx

@@ -1,0 +1,79 @@
+// Physical data-movement counters for the simulator process itself —
+// deliberately separate from the *modeled* copy charges in sim::CostLedger.
+// The cost model says what the simulated machine paid (Host::copy /
+// Host::charge_copy); these counters say what the simulator actually did
+// with host RAM, so benchmarks and tests can pin "zero real copies per
+// wire hop" without touching any determinism digest.
+//
+// Two categories:
+//  - endpoint: copies the simulated API itself requires (gather into a
+//    send buffer, scatter into a user receive buffer, socket buffering).
+//    These are charged AND physical — the simulator moves the bytes once,
+//    exactly where the model says a memcpy happens.
+//  - hop: copies that are pure simulator overhead with no modeled charge:
+//    copy-on-write clones (fault corruption of a shared block) and the
+//    cross-shard SPSC boundary (one encode + one decode per crossing).
+//    Steady-state serial traffic must show zero of these.
+//
+// Counters are relaxed atomics so per-shard threads can bump them without
+// synchronization; exact cross-thread ordering is irrelevant for totals.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace fmx {
+
+class CopyStats {
+ public:
+  struct Snapshot {
+    std::uint64_t endpoint_copies = 0;
+    std::uint64_t endpoint_bytes = 0;
+    std::uint64_t hop_copies = 0;
+    std::uint64_t hop_bytes = 0;
+  };
+
+  static CopyStats& instance() noexcept {
+    static CopyStats s;
+    return s;
+  }
+
+  void count_endpoint(std::size_t n) noexcept {
+    endpoint_copies_.fetch_add(1, std::memory_order_relaxed);
+    endpoint_bytes_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void count_hop(std::size_t n) noexcept {
+    hop_copies_.fetch_add(1, std::memory_order_relaxed);
+    hop_bytes_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  Snapshot snapshot() const noexcept {
+    return {endpoint_copies_.load(std::memory_order_relaxed),
+            endpoint_bytes_.load(std::memory_order_relaxed),
+            hop_copies_.load(std::memory_order_relaxed),
+            hop_bytes_.load(std::memory_order_relaxed)};
+  }
+
+  void reset() noexcept {
+    endpoint_copies_.store(0, std::memory_order_relaxed);
+    endpoint_bytes_.store(0, std::memory_order_relaxed);
+    hop_copies_.store(0, std::memory_order_relaxed);
+    hop_bytes_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> endpoint_copies_{0};
+  std::atomic<std::uint64_t> endpoint_bytes_{0};
+  std::atomic<std::uint64_t> hop_copies_{0};
+  std::atomic<std::uint64_t> hop_bytes_{0};
+};
+
+inline void count_endpoint_copy(std::size_t n) noexcept {
+  CopyStats::instance().count_endpoint(n);
+}
+inline void count_hop_copy(std::size_t n) noexcept {
+  CopyStats::instance().count_hop(n);
+}
+
+}  // namespace fmx

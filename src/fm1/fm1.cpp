@@ -1,5 +1,7 @@
 #include "fm1/fm1.hpp"
 
+#include "common/copy_stats.hpp"
+
 #include <algorithm>
 #include <cassert>
 #include <cstring>
@@ -83,12 +85,18 @@ sim::Task<void> Endpoint::send_packet(int dest, PacketType type,
                   tid, chunk.size());
 
   bool fresh = false;
-  Bytes pkt = pool().acquire(sizeof(PacketHeader) + chunk.size(), &fresh);
+  BufferRef pkt =
+      pool().acquire_ref(sizeof(PacketHeader) + chunk.size(), &fresh);
   if (fresh) node_.host().ledger().note_alloc(pkt.size());
-  std::memcpy(pkt.data(), &h, sizeof(h));
+  // Contiguous assembly is FM 1.x's defining endpoint copy: header and user
+  // chunk really move into the packet buffer (the PIO/DMA charge below is
+  // the modeled cost of the same movement).
+  MutByteSpan pb = pkt.mutable_bytes();
+  std::memcpy(pb.data(), &h, sizeof(h));
   if (!chunk.empty()) {
-    std::memcpy(pkt.data() + sizeof(h), chunk.data(), chunk.size());
+    std::memcpy(pb.data() + sizeof(h), chunk.data(), chunk.size());
   }
+  count_endpoint_copy(pkt.size());
   node_.host().charge(Cost::kHeader, kHeaderBuildCost);
   ++stats_.packets_sent;
 
@@ -136,12 +144,13 @@ sim::Task<void> Endpoint::acquire_credit(int dest) {
       host.charge(Cost::kFlowCtl, kCreditOpCost);
       if (h.credits > 0) {
         credits_[p->src] += h.credits;
-        // Strip the piggyback so later processing doesn't double-count.
-        h.credits = 0;
-        std::memcpy(p->payload.data(), &h, sizeof(h));
+        // No strip-by-rewrite needed: parked packets are only ever re-read
+        // by extract()'s pending loop, which never applies credits (and a
+        // rewrite would COW-clone a block shared with the sender's
+        // go-back-N retention).
       }
       if (static_cast<PacketType>(h.type) == PacketType::kCredit) {
-        pool().release(std::move(p->payload));
+        p->payload.reset();
         continue;  // pure control packet, fully consumed
       }
       if (pending_.size() >= cfg_.pending_limit) {
@@ -214,10 +223,10 @@ sim::Task<void> Endpoint::maybe_return_credits(int dest) {
   h.type = static_cast<std::uint16_t>(PacketType::kCredit);
   h.credits = give;
   bool fresh = false;
-  Bytes pkt = pool().acquire(sizeof(PacketHeader), &fresh);
+  BufferRef pkt = pool().acquire_ref(sizeof(PacketHeader), &fresh);
   auto& host = node_.host();
   if (fresh) host.ledger().note_alloc(pkt.size());
-  std::memcpy(pkt.data(), &h, sizeof(h));
+  std::memcpy(pkt.mutable_bytes().data(), &h, sizeof(h));
   host.charge(Cost::kFlowCtl, kHeaderBuildCost);
   if (cfg_.pio_send) {
     host.note(Cost::kPio, node_.bus().pio_time(pkt.size()));
@@ -257,14 +266,14 @@ void Endpoint::deliver_data(int src, const PacketHeader& h, ByteSpan chunk,
   Partial& part = it->second;
   if (inserted) {
     bool fresh = false;
-    part.staging = pool().acquire(h.msg_bytes, &fresh);
+    part.staging = pool().acquire_ref(h.msg_bytes, &fresh);
     if (fresh) host.ledger().note_alloc(h.msg_bytes);
     part.head = h;
     host.charge(Cost::kBufferMgmt, kStagingAllocCost);
   }
   std::size_t off = static_cast<std::size_t>(h.pkt_index) * seg_;
   assert(off + chunk.size() <= part.staging.size());
-  host.copy(MutByteSpan{part.staging}.subspan(off, chunk.size()), chunk,
+  host.copy(part.staging.mutable_bytes().subspan(off, chunk.size()), chunk,
             Cost::kBufferMgmt);
   part.received += chunk.size();
   if (part.received == part.staging.size()) {
@@ -277,12 +286,11 @@ void Endpoint::deliver_data(int src, const PacketHeader& h, ByteSpan chunk,
     tracer().record(trace::EventType::kHandlerRun, trace::Layer::kFm1, id(),
                     tid, part.staging.size());
     if (auto& fn = handlers_.at(part.head.handler)) {
-      fn(src, ByteSpan{part.staging});
+      fn(src, part.staging.span());
     }
     tracer().record(trace::EventType::kMsgDone, trace::Layer::kFm1, id(),
                     tid, part.staging.size());
-    pool().release(std::move(part.staging));
-    partials_.erase(it);
+    partials_.erase(it);  // last reference returns the staging block
     ++*completed;
   }
 }
@@ -296,13 +304,12 @@ void Endpoint::process_packet(net::RxPacket&& pkt, int* completed) {
     credits_[pkt.src] += h.credits;
   }
   if (static_cast<PacketType>(h.type) == PacketType::kCredit) {
-    pool().release(std::move(pkt.payload));
+    pkt.payload.reset();
     return;  // control only
   }
-  ByteSpan chunk = ByteSpan{pkt.payload}.subspan(sizeof(PacketHeader));
+  ByteSpan chunk = pkt.payload.span().subspan(sizeof(PacketHeader));
   deliver_data(pkt.src, h, chunk, completed);
   slot_freed(pkt.src);
-  pool().release(std::move(pkt.payload));
 }
 
 sim::Task<int> Endpoint::extract() {
@@ -315,9 +322,8 @@ sim::Task<int> Endpoint::extract() {
     // Slot already freed when parked; don't free twice.
     PacketHeader h = wire::parse_header(pkt.payload);
     host.charge(Cost::kHeader, kHeaderParseCost);
-    ByteSpan chunk = ByteSpan{pkt.payload}.subspan(sizeof(PacketHeader));
+    ByteSpan chunk = pkt.payload.span().subspan(sizeof(PacketHeader));
     deliver_data(pkt.src, h, chunk, &completed);
-    pool().release(std::move(pkt.payload));
   }
   int processed = 0;
   while (auto p = node_.nic().host_ring().try_pop()) {

@@ -107,7 +107,7 @@ class Endpoint {
 
  private:
   struct Partial {
-    Bytes staging;
+    BufferRef staging;
     std::size_t received = 0;
     PacketHeader head;
   };

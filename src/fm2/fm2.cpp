@@ -45,10 +45,14 @@ void RecvStream::feed(net::RxPacket pkt) {
   std::size_t data = pkt.payload.size() - kHdr;
   fed_ += data;
   if (data == 0) {
-    ep_->pool().release(std::move(pkt.payload));
+    pkt.payload.reset();
     ep_->slot_freed(src_);  // header-only packet: slot free immediately
     return;
   }
+  // Scatter entry point: drop the header by sub-slicing, not by copying —
+  // the queued view starts at the data bytes and the underlying block goes
+  // home when the handler has consumed the last of them.
+  pkt.payload = pkt.payload.subslice(kHdr, data);
   queued_ += data;
   q_.push_back(std::move(pkt));
 }
@@ -59,13 +63,12 @@ bool RecvStream::try_fulfill() {
   auto& host = ep_->host();
   while (r.got < r.want && !q_.empty()) {
     net::RxPacket& front = q_.front();
-    if (head_off_ == 0) head_off_ = kHdr;
     std::size_t avail = front.payload.size() - head_off_;
     std::size_t take = std::min(avail, r.want - r.got);
     if (r.dst != nullptr) {
       // The single receive-side copy: ring slot -> user buffer.
       host.copy(MutByteSpan{r.dst + r.got, take},
-                ByteSpan{front.payload}.subspan(head_off_, take));
+                front.payload.span().subspan(head_off_, take));
     } else {
       host.charge(Cost::kBufferMgmt, kSkipPerPacketCost);
     }
@@ -74,7 +77,7 @@ bool RecvStream::try_fulfill() {
     consumed_ += take;
     queued_ -= take;
     if (head_off_ == front.payload.size()) {
-      ep_->pool().release(std::move(front.payload));
+      front.payload.reset();  // last reference returns the block
       q_.pop_front();
       head_off_ = 0;
       ep_->slot_freed(src_);  // packet fully consumed: credit goes home
@@ -87,12 +90,11 @@ void RecvStream::discard_all_queued() {
   auto& host = ep_->host();
   while (!q_.empty()) {
     net::RxPacket& front = q_.front();
-    if (head_off_ == 0) head_off_ = kHdr;
     std::size_t avail = front.payload.size() - head_off_;
     consumed_ += avail;
     queued_ -= avail;
     host.charge(Cost::kBufferMgmt, kSkipPerPacketCost);
-    ep_->pool().release(std::move(front.payload));
+    front.payload.reset();
     q_.pop_front();
     head_off_ = 0;
     ep_->slot_freed(src_);
@@ -174,7 +176,7 @@ sim::Task<SendStream> Endpoint::begin_message(int dest, std::size_t size,
                next_msg_seq_[dest]++);
   s.trace_id_ = trace::Tracer::msg_id(id(), dest, trace::Layer::kFm2, s.seq_);
   bool fresh = false;
-  s.pkt_ = pool().acquire(kHdr + std::min(seg_, size), &fresh);
+  s.pkt_ = pool().acquire_ref(kHdr + std::min(seg_, size), &fresh);
   if (fresh) host.ledger().note_alloc(s.pkt_.size());
   co_await host.sync();
   co_return s;
@@ -193,7 +195,8 @@ sim::Task<void> Endpoint::send_piece(SendStream& s, ByteSpan piece) {
     std::size_t room = seg_ - s.fill_;
     std::size_t take = std::min(room, piece.size() - off);
     // The gather copy: user piece -> packet under assembly (pinned memory).
-    host.copy(MutByteSpan{s.pkt_}.subspan(kHdr + s.fill_, take),
+    // The stream owns its packet uniquely, so mutable_bytes() never clones.
+    host.copy(s.pkt_.mutable_bytes().subspan(kHdr + s.fill_, take),
               piece.subspan(off, take));
     s.fill_ += take;
     s.sent_ += take;
@@ -226,15 +229,15 @@ sim::Task<void> Endpoint::flush_packet(SendStream& s, bool last) {
   h.pkt_index = s.pkt_index_++;
   h.credits = take_piggyback(s.dest_);
   h.msg_seq = s.seq_;
-  s.pkt_.resize(kHdr + s.fill_);
-  wire::store_header(MutByteSpan{s.pkt_}, h);
+  s.pkt_.set_size(kHdr + s.fill_);
+  wire::store_header(s.pkt_.mutable_bytes(), h);
   host.charge(Cost::kHeader, kHeaderBuildCost);
   ++stats_.packets_sent;
   tracer().record(trace::EventType::kSendEnqueue, trace::Layer::kFm2, id(),
                   s.trace_id_, s.fill_);
 
   co_await acquire_credit(s.dest_);
-  Bytes out = std::move(s.pkt_);
+  BufferRef out = std::move(s.pkt_);
   s.fill_ = 0;
   if (!last) {
     // Next packet under assembly comes from the pool un-zeroed: send_piece
@@ -242,7 +245,7 @@ sim::Task<void> Endpoint::flush_packet(SendStream& s, bool last) {
     std::size_t next_payload =
         std::min(seg_, static_cast<std::size_t>(s.total_) - s.sent_);
     bool fresh = false;
-    s.pkt_ = pool().acquire(kHdr + next_payload, &fresh);
+    s.pkt_ = pool().acquire_ref(kHdr + next_payload, &fresh);
     if (fresh) host.ledger().note_alloc(s.pkt_.size());
   }
   if (cfg_.pio_send) {
@@ -276,10 +279,10 @@ sim::Task<void> Endpoint::acquire_credit(int dest) {
     int drained = 0;
     while (auto p = node_.nic().host_ring().try_pop()) {
       ++drained;
-      apply_credits_and_strip(*p);
+      apply_credits(*p);
       PacketHeader h = wire::parse_header(p->payload);
       if (static_cast<PacketType>(h.type) == PacketType::kCredit) {
-        pool().release(std::move(p->payload));
+        p->payload.reset();
         continue;
       }
       if (pending_.size() >= cfg_.pending_limit) {
@@ -308,9 +311,9 @@ sim::Task<void> Endpoint::maybe_return_credits(int dest) {
   h.credits = give;
   auto& host = node_.host();
   bool fresh = false;
-  Bytes pkt = pool().acquire(kHdr, &fresh);
+  BufferRef pkt = pool().acquire_ref(kHdr, &fresh);
   if (fresh) host.ledger().note_alloc(pkt.size());
-  wire::store_header(MutByteSpan{pkt}, h);
+  wire::store_header(pkt.mutable_bytes(), h);
   host.charge(Cost::kFlowCtl, kHeaderBuildCost);
   co_await host.sync();
   co_await node_.nic().enqueue(
@@ -320,13 +323,17 @@ sim::Task<void> Endpoint::maybe_return_credits(int dest) {
 // ---------------------------------------------------------------------------
 // Endpoint: receive side
 
-void Endpoint::apply_credits_and_strip(net::RxPacket& pkt) {
+// Harvest piggybacked credits exactly once per packet. The "applied" flag
+// on the RxPacket replaces the old strip-by-rewrite: rewriting the header
+// would copy-on-write-clone every parked packet whose block is shared with
+// the sender's go-back-N retention, for no modeled benefit.
+void Endpoint::apply_credits(net::RxPacket& pkt) {
+  if (pkt.credits_applied) return;
+  pkt.credits_applied = true;
   PacketHeader h = wire::parse_header(pkt.payload);
   if (h.credits > 0) {
     node_.host().charge(Cost::kFlowCtl, kCreditOpCost);
     credits_[pkt.src] += h.credits;
-    h.credits = 0;
-    wire::store_header(MutByteSpan{pkt.payload}, h);
   }
 }
 
@@ -433,10 +440,10 @@ void Endpoint::pump(SrcState& st, int src, int* completed) {
 void Endpoint::ingest(net::RxPacket&& pkt, int* completed) {
   auto& host = node_.host();
   host.charge(Cost::kHeader, kHeaderParseCost);
-  apply_credits_and_strip(pkt);
+  apply_credits(pkt);
   PacketHeader h = wire::parse_header(pkt.payload);
   if (static_cast<PacketType>(h.type) == PacketType::kCredit) {
-    pool().release(std::move(pkt.payload));
+    pkt.payload.reset();
     return;
   }
 

@@ -129,7 +129,7 @@ class RecvStream {
     std::size_t got;
   };
 
-  void feed(net::RxPacket pkt);     // append packet data (header stripped)
+  void feed(net::RxPacket pkt);     // append packet data (header sub-sliced off)
   bool try_fulfill();               // move bytes into the open request
   void discard_all_queued();        // skip-mode drain
 
@@ -152,7 +152,7 @@ class RecvStream {
   std::size_t consumed_ = 0;  // handler-consumed + skipped bytes
   std::size_t fed_ = 0;       // message bytes that have been fed
   std::size_t queued_ = 0;    // fed - consumed (bytes sitting in q_)
-  sim::RingQueue<net::RxPacket> q_;
+  sim::RingQueue<net::RxPacket> q_;  // payloads already header-stripped
   std::size_t head_off_ = 0;  // consumed offset within q_.front() payload
   std::optional<Request> req_;
   std::coroutine_handle<> waiting_{};
@@ -178,7 +178,7 @@ class SendStream {
   std::uint32_t seq_ = 0;
   std::uint64_t trace_id_ = 0;  // set by Endpoint::begin_message
   std::size_t sent_ = 0;       // payload bytes composed so far
-  Bytes pkt_;                  // packet under assembly (incl. header space)
+  BufferRef pkt_;              // packet under assembly (incl. header space)
   std::size_t fill_ = 0;       // payload bytes in pkt_
   std::uint16_t pkt_index_ = 0;
   bool ended_ = false;
@@ -324,7 +324,7 @@ class Endpoint {
   void ingest(net::RxPacket&& pkt, int* completed);
   void start_message(SrcState& st, int src, const PacketHeader& h);
   void pump(SrcState& st, int src, int* completed);
-  void apply_credits_and_strip(net::RxPacket& pkt);
+  void apply_credits(net::RxPacket& pkt);
 
   net::Fabric& fabric_;
   net::Node& node_;

@@ -91,13 +91,16 @@ sim::Task<void> MpiFm2::do_send(ByteSpan data, int dst, int tag) {
 
   if (opt_.staged_send) {
     // Ablation: FM 1.x-style contiguous assembly before handing to FM —
-    // one extra full-message copy on the send path.
-    Bytes staging(sizeof(MpiHeader) + data.size());
-    std::memcpy(staging.data(), &h, sizeof(h));
-    if (!data.empty()) {
-      host.copy(MutByteSpan{staging}.subspan(sizeof(MpiHeader)), data);
-    }
-    co_await fm_.send(dst, kMpiHandler, ByteSpan{staging});
+    // one extra full-message copy on the send path. The simulated machine
+    // pays that staging copy (charge_copy), but the simulator itself no
+    // longer materializes a second buffer: the header rides as a slice
+    // view through the same gather path the staging copy would feed.
+    host.charge_copy(data.size());
+    fm2::SendStream s = co_await fm_.begin_message(
+        dst, sizeof(MpiHeader) + data.size(), kMpiHandler);
+    co_await fm_.send_piece(s, as_bytes_of(h));
+    if (!data.empty()) co_await fm_.send_piece(s, data);
+    co_await fm_.end_message(s);
     co_return;
   }
 

@@ -78,7 +78,9 @@ void Fabric::maybe_corrupt(WirePacket& pkt) {
   if (rng_.uniform_real() < p_bad) {
     std::size_t pos = rng_.uniform(0, pkt.payload.size() - 1);
     std::size_t bit = rng_.uniform(0, 7);
-    pkt.payload[pos] ^= static_cast<std::byte>(1u << bit);
+    // Copy-on-write: if the block is shared (NIC retention, a duplicate in
+    // flight), only this packet's view diverges; siblings keep clean bytes.
+    pkt.payload.mutable_bytes()[pos] ^= static_cast<std::byte>(1u << bit);
     ++stats_.corrupted;
   }
 }
@@ -101,7 +103,7 @@ sim::Task<void> Fabric::deliver_body(WirePacket pkt) {
       co_await eng_.delay(f.extra_delay);
     }
     if (f.corrupt && !pkt.payload.empty()) {
-      pkt.payload[f.corrupt_pos % pkt.payload.size()] ^=
+      pkt.payload.mutable_bytes()[f.corrupt_pos % pkt.payload.size()] ^=
           static_cast<std::byte>(1u << (f.corrupt_bit & 7));
       ++stats_.corrupted;
     }
@@ -111,26 +113,16 @@ sim::Task<void> Fabric::deliver_body(WirePacket pkt) {
       ++stats_.dropped;
       tracer_.record(trace::EventType::kDrop, trace::Layer::kFabric, pkt.dst,
                      pkt.trace_id, trace::kDropFault);
-      pool_.release(std::move(pkt.payload));
+      pkt.payload.reset();
       endpoints_[pkt.dst].slack->release();
       co_return;
     }
     if (f.duplicate) {
       ++stats_.duplicated;
-      // Duplicate of the uncorrupted original, with a pooled payload buffer
-      // (the copy constructor would allocate a fresh one).
-      WirePacket copy;
-      copy.src = pkt.src;
-      copy.dst = pkt.dst;
-      copy.wire_seq = pkt.wire_seq;
-      copy.crc = pkt.crc;
-      copy.link_seq = pkt.link_seq;
-      copy.ack = pkt.ack;
-      copy.has_ack = pkt.has_ack;
-      copy.ack_only = pkt.ack_only;
-      copy.trace_id = pkt.trace_id;
-      copy.payload = pool_.acquire(pkt.payload.size());
-      std::copy(pkt.payload.begin(), pkt.payload.end(), copy.payload.begin());
+      // Duplicate of the uncorrupted original — a pure reference share,
+      // taken before maybe_corrupt so a bit error on the primary COWs away
+      // from the duplicate's clean view.
+      WirePacket copy = pkt;
       maybe_corrupt(pkt);
       auto& ep = endpoints_[pkt.dst];
       assert(ep.wire_in && "destination NIC not attached");
@@ -188,8 +180,8 @@ sim::Task<void> Fabric::transmit(WirePacket pkt) {
       head = (tail_done - ser) + l->latency;
       if (i == 0) uplink_done = tail_done;
     }
-    port_->emit(pkt, head);
-    pool_.release(std::move(pkt.payload));
+    port_->emit(pkt, head);  // encodes the bytes into the SPSC slot
+    pkt.payload.reset();
     co_await eng_.sleep_until(uplink_done);
     co_return;
   }

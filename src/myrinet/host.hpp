@@ -9,6 +9,7 @@
 #include <cstddef>
 
 #include "common/buffer.hpp"
+#include "common/copy_stats.hpp"
 #include "myrinet/params.hpp"
 #include "sim/engine.hpp"
 #include "sim/ledger.hpp"
@@ -56,8 +57,18 @@ class Host {
   void copy(MutByteSpan dst, ByteSpan src, sim::Cost c = sim::Cost::kCopy) {
     assert(dst.size() >= src.size());
     std::memcpy(dst.data(), src.data(), src.size());
-    charge(c, memcpy_cost(src.size()));
-    ledger_.note_copy(src.size());
+    count_endpoint_copy(src.size());
+    charge_copy(src.size(), c);
+  }
+
+  /// Modeled copy without physical data movement: charges the memcpy model
+  /// and bumps the ledger copy count exactly like copy(), but the simulator
+  /// shares the underlying BufferRef instead of moving bytes. Keeps pinned
+  /// copy counts and determinism digests identical while the data plane
+  /// goes zero-copy.
+  void charge_copy(std::size_t bytes, sim::Cost c = sim::Cost::kCopy) {
+    charge(c, memcpy_cost(bytes));
+    ledger_.note_copy(bytes);
   }
 
   /// Pay all accumulated charges as simulated delay.

@@ -55,21 +55,11 @@ sim::Task<void> Nic::tx_inject_program() {
         pr.ack_due = false;
       }
       if (pt.retained.empty()) pt.last_progress = eng_.now();
-      // Retained copy for go-back-N; its payload duplicate comes from the
-      // pool and goes back to it when the ack advances past it.
-      WirePacket keep;
-      keep.src = pkt.src;
-      keep.dst = pkt.dst;
-      keep.wire_seq = pkt.wire_seq;
-      keep.crc = pkt.crc;
-      keep.link_seq = pkt.link_seq;
-      keep.ack = pkt.ack;
-      keep.has_ack = pkt.has_ack;
-      keep.ack_only = pkt.ack_only;
-      keep.trace_id = pkt.trace_id;
-      keep.payload = fabric_.pool().acquire(pkt.payload.size());
-      std::copy(pkt.payload.begin(), pkt.payload.end(), keep.payload.begin());
-      pt.retained.push_back(std::move(keep));
+      // Go-back-N retention is a reference share, not a copy: the retained
+      // packet aliases the in-flight block. Fault corruption on the wire
+      // goes through copy-on-write, so the retained bytes stay pristine
+      // for retransmission.
+      pt.retained.push_back(pkt);
       rtx_cv_.notify_all();
     }
     co_await fabric_.transmit(std::move(pkt));
@@ -80,8 +70,7 @@ void Nic::process_ack(int peer, std::uint32_t ack) {
   PeerTx& pt = tx_peers_[peer];
   bool advanced = false;
   while (pt.base < ack && !pt.retained.empty()) {
-    fabric_.pool().release(std::move(pt.retained.front().payload));
-    pt.retained.pop_front();
+    pt.retained.pop_front();  // last reference returns the block to the pool
     ++pt.base;
     advanced = true;
   }
@@ -114,14 +103,14 @@ sim::Task<void> Nic::rx_wire_program() {
       ++stats_.crc_dropped;
       fabric_.tracer().record(trace::EventType::kDrop, trace::Layer::kNic,
                               id_, pkt.trace_id, trace::kDropCrc);
-      fabric_.pool().release(std::move(pkt.payload));
+      pkt.payload.reset();  // release the block before the next pop suspends
       rx_slack_.release();
       continue;
     }
     if (p_.reliable_link) {
       if (pkt.has_ack) process_ack(pkt.src, pkt.ack);
       if (pkt.ack_only) {
-        fabric_.pool().release(std::move(pkt.payload));
+        pkt.payload.reset();
         rx_slack_.release();
         continue;
       }
@@ -132,7 +121,7 @@ sim::Task<void> Nic::rx_wire_program() {
         ++stats_.seq_dropped;
         fabric_.tracer().record(trace::EventType::kDrop, trace::Layer::kNic,
                                 id_, pkt.trace_id, trace::kDropSeq);
-        fabric_.pool().release(std::move(pkt.payload));
+        pkt.payload.reset();
         pr.ack_due = true;
         ack_cv_.notify_all();
         rx_slack_.release();
@@ -181,7 +170,7 @@ sim::Task<void> Nic::ack_program() {
       PeerRx& pr = rx_peers_[peer];
       if (!pr.ack_due) continue;
       pr.ack_due = false;
-      WirePacket ack = WirePacket::make(id_, peer, {});
+      WirePacket ack = WirePacket::make(id_, peer, BufferRef{});
       ack.has_ack = true;
       ack.ack = pr.expected;
       ack.ack_only = true;

@@ -24,15 +24,20 @@ namespace fmx::net {
 /// the coroutine-parameter rule in sim/task.hpp.
 struct SendDescriptor {
   SendDescriptor() = default;
-  SendDescriptor(int dst_, Bytes payload_, bool fetch_dma_,
+  SendDescriptor(int dst_, BufferRef payload_, bool fetch_dma_,
                  std::function<void()> on_fetched_ = {})
       : dst(dst_),
         payload(std::move(payload_)),
         fetch_dma(fetch_dma_),
         on_fetched(std::move(on_fetched_)) {}
+  // Compatibility shim for Bytes producers (tests/examples).
+  SendDescriptor(int dst_, Bytes payload_, bool fetch_dma_,
+                 std::function<void()> on_fetched_ = {})
+      : SendDescriptor(dst_, BufferRef::copy_of(ByteSpan{payload_}),
+                       fetch_dma_, std::move(on_fetched_)) {}
 
   int dst = -1;
-  Bytes payload;
+  BufferRef payload;
   /// True: payload lives in host memory, the NIC DMA-fetches it across the
   /// bus (FM 2.x style). False: the host already pushed the bytes into NIC
   /// SRAM with programmed I/O and paid for the bus itself (FM 1.x style).

@@ -1,12 +1,20 @@
 // Wire-level packet. The payload is the messaging layer's packet (header +
 // data) carried as real bytes; the fabric really computes and checks CRC-32
 // so injected bit errors are genuinely detected, not flagged.
+//
+// The payload travels as a refcounted BufferRef slice: switch hops, the
+// NIC's go-back-N retention window and fault-injected duplicates all share
+// one underlying block. The CRC is sealed into the block's memo at make()
+// time, so downstream crc_ok() checks are a 32-bit compare unless someone
+// mutated the bytes (copy-on-write invalidates the memo on exactly the
+// reference that was written through).
 #pragma once
 
 #include <cstdint>
 #include <utility>
 
 #include "common/buffer.hpp"
+#include "common/buffer_ref.hpp"
 #include "common/crc32.hpp"
 #include "sim/time.hpp"
 
@@ -20,7 +28,7 @@ struct WirePacket {
   int src = -1;
   int dst = -1;
   std::uint64_t wire_seq = 0;  ///< per-fabric sequence (debug/tracing)
-  Bytes payload;
+  BufferRef payload;
   std::uint32_t crc = 0;
 
   // Link-level reliability (go-back-N extension; NicParams::reliable_link).
@@ -34,28 +42,38 @@ struct WirePacket {
   /// src/dst, so it never affects serialization time or CRC.
   std::uint64_t trace_id = 0;
 
-  static WirePacket make(int src, int dst, Bytes payload) {
+  static WirePacket make(int src, int dst, BufferRef payload) {
     WirePacket p;
     p.src = src;
     p.dst = dst;
     p.payload = std::move(payload);
-    p.crc = crc32(p.payload);
+    p.crc = p.payload.crc();  // seals the block's memo
     return p;
   }
 
-  bool crc_ok() const { return crc32(payload) == crc; }
+  // Compatibility shim for call sites still assembling a Bytes payload
+  // (tests, examples): wraps it in a free-standing block.
+  static WirePacket make(int src, int dst, Bytes payload) {
+    return make(src, dst, BufferRef::copy_of(ByteSpan{payload}));
+  }
+
+  bool crc_ok() const { return payload.crc() == crc; }
 };
 
 /// A packet as it appears in the host receive region after NIC DMA.
 struct RxPacket {
   RxPacket() = default;
-  RxPacket(int src_, Bytes payload_, sim::Ps arrived_)
+  RxPacket(int src_, BufferRef payload_, sim::Ps arrived_)
       : src(src_), payload(std::move(payload_)), arrived(arrived_) {}
 
   int src = -1;
-  Bytes payload;
+  BufferRef payload;
   sim::Ps arrived = 0;  ///< time the packet landed in host memory
   std::uint64_t trace_id = 0;  ///< tracing metadata, threaded from the wire
+  /// Piggybacked flow-control credits already harvested from the header.
+  /// Replaces the old strip-by-rewrite (which would force a COW clone on
+  /// every parked packet sharing its block with the sender's retention).
+  bool credits_applied = false;
 };
 
 }  // namespace fmx::net

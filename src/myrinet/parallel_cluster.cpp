@@ -1,5 +1,7 @@
 #include "myrinet/parallel_cluster.hpp"
 
+#include "common/copy_stats.hpp"
+
 #include <cassert>
 #include <cstdlib>
 #include <cstring>
@@ -47,6 +49,7 @@ void encode(std::byte* slot, const WirePacket& pkt, sim::Ps head,
   std::memcpy(slot, &m, sizeof(m));
   if (!pkt.payload.empty()) {
     std::memcpy(slot + sizeof(m), pkt.payload.data(), pkt.payload.size());
+    count_hop_copy(pkt.payload.size());
   }
 }
 
@@ -63,9 +66,11 @@ void decode(const std::byte* slot, Fabric& dst_fabric) {
   pkt.ack = m.ack;
   pkt.has_ack = m.has_ack != 0;
   pkt.ack_only = m.ack_only != 0;
-  pkt.payload = dst_fabric.pool().acquire(m.payload_len);
+  pkt.payload = dst_fabric.pool().acquire_ref(m.payload_len);
   if (m.payload_len != 0) {
-    std::memcpy(pkt.payload.data(), slot + sizeof(m), m.payload_len);
+    std::memcpy(pkt.payload.mutable_bytes().data(), slot + sizeof(m),
+                m.payload_len);
+    count_hop_copy(m.payload_len);
   }
   dst_fabric.accept_remote(std::move(pkt), m.head, m.cross_key);
 }

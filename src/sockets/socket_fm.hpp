@@ -43,8 +43,8 @@ class Socket {
   /// Half-close: signals EOF to the peer after in-flight data.
   sim::Task<void> close();
 
-  bool eof() const noexcept { return fin_received_ && buffer_.empty(); }
-  std::size_t buffered() const noexcept { return buffer_.size(); }
+  bool eof() const noexcept { return fin_received_ && buffered_bytes_ == 0; }
+  std::size_t buffered() const noexcept { return buffered_bytes_; }
   int peer_node() const noexcept { return peer_node_; }
 
  private:
@@ -57,7 +57,13 @@ class Socket {
   bool established_ = false;
   bool fin_received_ = false;
   bool fin_sent_ = false;
-  std::deque<std::byte> buffer_;  // landed data not yet recv()ed
+  // Landed data not yet recv()ed, as a deque of chunks consumed from the
+  // front through chunk_off_. The old flat deque<byte> paid an O(n) front
+  // erase (byte shift) per recv — O(n²) across a drain; slices make each
+  // read O(bytes delivered).
+  std::deque<Bytes> chunks_;
+  std::size_t chunk_off_ = 0;       // consumed prefix of chunks_.front()
+  std::size_t buffered_bytes_ = 0;  // total across chunks_
   // A waiting recv(): the handler fills this directly (zero-copy path).
   std::byte* pending_buf_ = nullptr;
   std::size_t pending_cap_ = 0;

@@ -1,0 +1,186 @@
+// BufferRef: the refcounted slice type the zero-copy data plane is built
+// on. These tests pin its sharing semantics — aliasing sub-slices, the
+// copy-on-write clone boundary, pool round-trips on last release, and the
+// CRC memo (sealed once per block, invalidated by any write).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/buffer_pool.hpp"
+#include "common/buffer_ref.hpp"
+#include "common/copy_stats.hpp"
+#include "common/crc32.hpp"
+
+namespace fmx {
+namespace {
+
+Bytes seq_bytes(std::size_t n) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = static_cast<std::byte>(i & 0xff);
+  return b;
+}
+
+TEST(BufferRef, DefaultIsEmpty) {
+  BufferRef r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_EQ(r.use_count(), 0u);
+  EXPECT_EQ(r.data(), nullptr);
+  EXPECT_EQ(r.crc(), crc32(ByteSpan{}));
+  EXPECT_TRUE(r.mutable_bytes().empty());  // no-op, no crash
+}
+
+TEST(BufferRef, CopyOfIsDeepAndFreeStanding) {
+  Bytes src = seq_bytes(100);
+  BufferRef r = BufferRef::copy_of(ByteSpan{src});
+  ASSERT_EQ(r.size(), 100u);
+  EXPECT_EQ(r.use_count(), 1u);
+  EXPECT_EQ(std::memcmp(r.data(), src.data(), 100), 0);
+  EXPECT_NE(static_cast<const void*>(r.data()),
+            static_cast<const void*>(src.data()));
+  src[0] = std::byte{0xff};  // the original does not alias the ref
+  EXPECT_EQ(r.span()[0], std::byte{0});
+}
+
+TEST(BufferRef, CopyAndMoveTrackRefcount) {
+  BufferRef a = BufferRef::copy_of(seq_bytes(32));
+  EXPECT_EQ(a.use_count(), 1u);
+  BufferRef b = a;  // copy: shares
+  EXPECT_EQ(a.use_count(), 2u);
+  EXPECT_EQ(a.data(), b.data());
+  BufferRef c = std::move(b);  // move: transfers, count unchanged
+  EXPECT_EQ(a.use_count(), 2u);
+  EXPECT_TRUE(b.empty());  // NOLINT(bugprone-use-after-move)
+  c.reset();
+  EXPECT_EQ(a.use_count(), 1u);
+  a = a;  // self-assignment must not free the block
+  EXPECT_EQ(a.use_count(), 1u);
+  EXPECT_EQ(a.size(), 32u);
+}
+
+TEST(BufferRef, SubsliceAliasesTheSameBlock) {
+  BufferRef whole = BufferRef::copy_of(seq_bytes(64));
+  BufferRef mid = whole.subslice(16, 32);
+  EXPECT_EQ(whole.use_count(), 2u);
+  EXPECT_EQ(mid.size(), 32u);
+  EXPECT_EQ(mid.data(), whole.data() + 16);  // same bytes, no copy
+  EXPECT_EQ(mid.span()[0], std::byte{16});
+  // Sub-slice of a sub-slice composes offsets.
+  BufferRef tail = mid.subslice(24, 8);
+  EXPECT_EQ(tail.data(), whole.data() + 40);
+  EXPECT_EQ(whole.use_count(), 3u);
+}
+
+TEST(BufferRef, PoolBlockComesBackOnLastRelease) {
+  BufferPool pool;
+  BufferRef a = pool.acquire_ref(200);
+  EXPECT_EQ(pool.stats().outstanding, 1u);
+  const void* block = a.data();
+  BufferRef slice = a.subslice(10, 50);
+  a.reset();  // a sibling still holds the block: not released yet
+  EXPECT_EQ(pool.stats().releases, 0u);
+  slice.reset();  // last reference: block parks in the free list
+  EXPECT_EQ(pool.stats().releases, 1u);
+  EXPECT_EQ(pool.stats().outstanding, 0u);
+  EXPECT_EQ(pool.stats().free_buffers, 1u);
+  bool fresh = true;
+  BufferRef b = pool.acquire_ref(180, &fresh);  // same 256 B class
+  EXPECT_FALSE(fresh);
+  EXPECT_EQ(static_cast<const void*>(b.data()), block);  // recycled
+  EXPECT_EQ(b.use_count(), 1u);
+  EXPECT_EQ(b.size(), 180u);
+}
+
+TEST(BufferRef, MutableBytesOnUniqueRefDoesNotClone) {
+  CopyStats::instance().reset();
+  BufferRef r = BufferRef::copy_of(seq_bytes(48));
+  const void* before = r.data();
+  r.mutable_bytes()[0] = std::byte{0xaa};
+  EXPECT_EQ(static_cast<const void*>(r.data()), before);  // wrote in place
+  EXPECT_EQ(CopyStats::instance().snapshot().hop_copies, 0u);
+}
+
+TEST(BufferRef, MutableBytesOnSharedRefClonesAndIsolates) {
+  CopyStats::instance().reset();
+  BufferRef a = BufferRef::copy_of(seq_bytes(48));
+  BufferRef b = a;
+  b.mutable_bytes()[5] = std::byte{0xee};
+  // b got its own block; a keeps the original bytes.
+  EXPECT_NE(a.data(), b.data());
+  EXPECT_EQ(a.use_count(), 1u);
+  EXPECT_EQ(b.use_count(), 1u);
+  EXPECT_EQ(a.span()[5], std::byte{5});
+  EXPECT_EQ(b.span()[5], std::byte{0xee});
+  // The clone is a real (uncharged, per-hop) copy and is counted as one.
+  EXPECT_EQ(CopyStats::instance().snapshot().hop_copies, 1u);
+}
+
+TEST(BufferRef, CowCloneOfSubsliceCopiesOnlyTheView) {
+  BufferRef whole = BufferRef::copy_of(seq_bytes(64));
+  BufferRef mid = whole.subslice(16, 8);
+  MutByteSpan w = mid.mutable_bytes();  // shared -> clones the 8-byte view
+  ASSERT_EQ(w.size(), 8u);
+  EXPECT_EQ(w[0], std::byte{16});  // clone preserved the visible bytes
+  w[0] = std::byte{0x7f};
+  EXPECT_EQ(whole.use_count(), 1u);      // mid detached
+  EXPECT_EQ(whole.span()[16], std::byte{16});  // original untouched
+  EXPECT_EQ(mid.span()[0], std::byte{0x7f});
+}
+
+TEST(BufferRef, SetSizeShrinksUniqueWholeBlockView) {
+  BufferPool pool;
+  BufferRef r = pool.acquire_ref(256);
+  std::memset(r.mutable_bytes().data(), 0x5c, 256);
+  r.set_size(100);
+  EXPECT_EQ(r.size(), 100u);
+  EXPECT_EQ(r.crc(), crc32(r.span()));
+}
+
+TEST(BufferRef, CrcMemoMatchesRecomputeAndSurvivesSharing) {
+  BufferRef a = BufferRef::copy_of(seq_bytes(512));
+  const std::uint32_t sealed = a.crc();  // seals the memo
+  EXPECT_EQ(sealed, crc32(a.span()));
+  BufferRef b = a;          // sharing does not disturb the memo
+  EXPECT_EQ(b.crc(), sealed);
+  // Sub-slices never use the whole-block memo.
+  BufferRef part = a.subslice(1, 100);
+  EXPECT_EQ(part.crc(), crc32(part.span()));
+  EXPECT_NE(part.crc(), sealed);
+  EXPECT_EQ(a.crc(), sealed);  // ...and did not corrupt it
+}
+
+TEST(BufferRef, CrcMemoInvalidatedByWrite) {
+  BufferRef a = BufferRef::copy_of(seq_bytes(128));
+  const std::uint32_t before = a.crc();
+  a.mutable_bytes()[3] ^= std::byte{0x01};
+  const std::uint32_t after = a.crc();
+  EXPECT_NE(after, before);
+  EXPECT_EQ(after, crc32(a.span()));
+}
+
+TEST(BufferRef, CrcAcrossCowCloneIsPerCopy) {
+  BufferRef a = BufferRef::copy_of(seq_bytes(128));
+  const std::uint32_t sealed = a.crc();
+  BufferRef b = a;
+  b.mutable_bytes()[0] ^= std::byte{0x80};  // COW: b detaches
+  EXPECT_EQ(a.crc(), sealed);               // a's memo still valid
+  EXPECT_EQ(b.crc(), crc32(b.span()));
+  EXPECT_NE(b.crc(), sealed);
+}
+
+TEST(BufferRef, SetSizeRemeasuresCrc) {
+  BufferRef r = BufferRef::copy_of(seq_bytes(64));
+  const std::uint32_t full = r.crc();
+  // A same-length view sealed at a different size must re-hash, not reuse
+  // the stale memo.
+  BufferPool pool;
+  BufferRef s = pool.acquire_ref(64);
+  std::memcpy(s.mutable_bytes().data(), r.data(), 64);
+  EXPECT_EQ(s.crc(), full);
+  s.set_size(32);
+  EXPECT_EQ(s.crc(), crc32(s.span()));
+  EXPECT_NE(s.crc(), full);
+}
+
+}  // namespace
+}  // namespace fmx

@@ -15,13 +15,23 @@
 //              assembly; DMA fetches it without another host copy)
 //   FM 2.x rx: P copies (the single stream -> user copy, charged once
 //              per packet as the receive request drains the ring)
+//
+// The zero-copy data plane adds a second dimension: the *physical* copies
+// the simulator process performs (CopyStats). Every modeled copy above
+// moves bytes exactly once, and nothing else does — per-hop real copies
+// (NIC retention, wire transit, fault duplication) must be zero in a
+// serial run. A 2-shard parallel run keeps the modeled and endpoint
+// counts bit-identical and adds only the explicit one-copy-per-side
+// cross-shard boundary, counted as per-hop copies.
 #include <gtest/gtest.h>
 
 #include <cstdint>
 
+#include "common/copy_stats.hpp"
 #include "fm1/fm1.hpp"
 #include "fm2/fm2.hpp"
 #include "myrinet/node.hpp"
+#include "myrinet/parallel_cluster.hpp"
 #include "tests/common/sim_fixture.hpp"
 
 namespace fmx {
@@ -35,6 +45,7 @@ constexpr int kMsgs = 10;
 struct Copies {
   std::uint64_t tx = 0, rx = 0;
   std::size_t packets_per_msg = 0;
+  CopyStats::Snapshot real;
 };
 
 Copies fm1_copies(std::size_t msg_size) {
@@ -50,16 +61,19 @@ Copies fm1_copies(std::size_t msg_size) {
   eng.spawn([](fm1::Endpoint& ep, int& g) -> Task<void> {
     co_await ep.poll_until([&] { return g == kMsgs; });
   }(rx, got));
+  CopyStats::instance().reset();
   EXPECT_TRUE(test::run_to_exhaustion(eng));
   EXPECT_EQ(got, kMsgs);
   const std::size_t seg = tx.max_payload_per_packet();
   return Copies{tx.host().ledger().copies(), rx.host().ledger().copies(),
-                (msg_size + seg - 1) / seg};
+                (msg_size + seg - 1) / seg, CopyStats::instance().snapshot()};
 }
 
-Copies fm2_copies(std::size_t msg_size) {
+Copies fm2_copies(std::size_t msg_size, bool reliable_link = false) {
   Engine eng;
-  net::Cluster cluster(eng, net::ppro_fm2_cluster(2));
+  auto params = net::ppro_fm2_cluster(2);
+  params.nic.reliable_link = reliable_link;
+  net::Cluster cluster(eng, params);
   fm2::Endpoint tx(cluster, 0), rx(cluster, 1);
   int got = 0;
   Bytes sink(msg_size);
@@ -74,11 +88,51 @@ Copies fm2_copies(std::size_t msg_size) {
   eng.spawn([](fm2::Endpoint& ep, int& g) -> Task<void> {
     co_await ep.poll_until([&] { return g == kMsgs; });
   }(rx, got));
+  CopyStats::instance().reset();
   EXPECT_TRUE(test::run_to_exhaustion(eng));
   EXPECT_EQ(got, kMsgs);
   const std::size_t seg = tx.max_payload_per_packet();
   return Copies{tx.host().ledger().copies(), rx.host().ledger().copies(),
-                (msg_size + seg - 1) / seg};
+                (msg_size + seg - 1) / seg, CopyStats::instance().snapshot()};
+}
+
+// Same FM 2.x stream, but across the 2-shard parallel cluster (node 0 and
+// node 1 live on different shards, so every wire packet crosses the SPSC
+// boundary).
+Copies fm2_parallel_copies(std::size_t msg_size, int threads) {
+  net::ParallelCluster cl(net::ppro_fm2_cluster(2), 2);
+  fm2::Endpoint tx(cl.node(0), cl.fabric_of(0));
+  fm2::Endpoint rx(cl.node(1), cl.fabric_of(1));
+  int got = 0;
+  Bytes sink(msg_size);
+  rx.register_handler(0, [&](fm2::RecvStream& s, int) -> fm2::HandlerTask {
+    co_await s.receive(sink.data(), s.msg_bytes());
+    ++got;
+  });
+  cl.spawn_on(0, [](fm2::Endpoint& ep, std::size_t sz) -> Task<void> {
+    Bytes m(sz);
+    for (int i = 0; i < kMsgs; ++i) co_await ep.send(1, 0, ByteSpan{m});
+  }(tx, msg_size));
+  cl.spawn_on(1, [](fm2::Endpoint& ep, int& g) -> Task<void> {
+    co_await ep.poll_until([&] { return g == kMsgs; });
+  }(rx, got));
+  CopyStats::instance().reset();
+  auto r = cl.run(threads);
+  EXPECT_EQ(r.pending_roots, 0);
+  EXPECT_EQ(got, kMsgs);
+  const std::size_t seg = tx.max_payload_per_packet();
+  return Copies{cl.node(0).host().ledger().copies(),
+                cl.node(1).host().ledger().copies(),
+                (msg_size + seg - 1) / seg, CopyStats::instance().snapshot()};
+}
+
+// Every physical copy the serial data plane still makes is a modeled
+// endpoint copy — and per-hop copies are gone entirely.
+void expect_zero_copy_hops(const Copies& c) {
+  EXPECT_EQ(c.real.hop_copies, 0u) << "per-hop physical copy on the serial "
+                                      "wire path (retention/COW/staging)";
+  EXPECT_EQ(c.real.endpoint_copies, c.tx + c.rx)
+      << "physical endpoint copies diverged from the modeled count";
 }
 
 TEST(CopyCounts, Fm1MultiPacket) {
@@ -86,6 +140,7 @@ TEST(CopyCounts, Fm1MultiPacket) {
   ASSERT_GT(c.packets_per_msg, 1u);
   EXPECT_EQ(c.tx, kMsgs * c.packets_per_msg);
   EXPECT_EQ(c.rx, kMsgs * c.packets_per_msg);
+  expect_zero_copy_hops(c);
 }
 
 TEST(CopyCounts, Fm1SinglePacketHasNoReceiveCopy) {
@@ -95,6 +150,7 @@ TEST(CopyCounts, Fm1SinglePacketHasNoReceiveCopy) {
   // Single-packet FM 1.x messages skip staging: the handler reads the
   // packet in place, so the receive path charges zero copies.
   EXPECT_EQ(c.rx, 0u);
+  expect_zero_copy_hops(c);
 }
 
 TEST(CopyCounts, Fm2OneCopyPerPacketEachSide) {
@@ -102,6 +158,36 @@ TEST(CopyCounts, Fm2OneCopyPerPacketEachSide) {
   ASSERT_GT(c.packets_per_msg, 1u);
   EXPECT_EQ(c.tx, kMsgs * c.packets_per_msg);
   EXPECT_EQ(c.rx, kMsgs * c.packets_per_msg);
+  expect_zero_copy_hops(c);
+}
+
+TEST(CopyCounts, Fm2ReliableLinkRetentionSharesNotCopies) {
+  // Go-back-N retention keeps a reference to every in-flight packet; on a
+  // clean fabric that sharing must never turn into a physical copy, and
+  // the modeled counts are identical to the unreliable run.
+  Copies plain = fm2_copies(8192);
+  Copies rel = fm2_copies(8192, /*reliable_link=*/true);
+  EXPECT_EQ(rel.tx, plain.tx);
+  EXPECT_EQ(rel.rx, plain.rx);
+  expect_zero_copy_hops(rel);
+}
+
+TEST(CopyCounts, Fm2ParallelShardsAddOnlyTheCrossShardCopies) {
+  Copies serial = fm2_copies(8192);
+  for (int threads : {1, 2}) {
+    Copies par = fm2_parallel_copies(8192, threads);
+    // Modeled charges are thread-count- and sharding-invariant.
+    EXPECT_EQ(par.tx, serial.tx) << threads << " threads";
+    EXPECT_EQ(par.rx, serial.rx) << threads << " threads";
+    // The simulated API still moves bytes exactly where the model says.
+    EXPECT_EQ(par.real.endpoint_copies, serial.real.endpoint_copies)
+        << threads << " threads";
+    // The SPSC boundary is the one real copy pair per crossing packet —
+    // present, counted, and the only per-hop copies in the run.
+    EXPECT_GT(par.real.hop_copies, 0u) << threads << " threads";
+    EXPECT_EQ(par.real.hop_copies % 2, 0u)
+        << threads << " threads: encode and decode must pair up";
+  }
 }
 
 }  // namespace
