@@ -10,14 +10,21 @@ is ~0).
 
 Parallel gate (--parallel-binary): runs `parallel_scaling` briefly and
 checks the sharded engine against BENCH_parallel.json:
-  - the determinism digest must be identical at every thread count,
-  - steady-state allocs/event per thread count stays under --max-allocs,
+  - the determinism digest must be identical at every thread count and on
+    both workloads (dense all-to-all and the sparse ring exchange),
+  - steady-state allocs/event per thread count is pinned at exactly
+    --parallel-max-allocs (default 0 — the persistent worker pool and the
+    per-shard pools leave nothing to allocate),
+  - events_per_window on the all-to-all workload must reach
+    --min-events-per-window (default 50) at every thread count: batched
+    windows are the whole point of the published-horizon scheduler, and a
+    regression to ~lookahead-sized quanta shows up here first,
   - "serial-mode regression": the sharded cluster at 1 thread must stay
     within --max-shard-tax percent (default 5) of the single-engine serial
     simulator measured in the SAME run — a machine-independent ratio,
   - speedup at 4 threads must reach --min-speedup (default 1.5x), enforced
     only when the machine actually has >= 4 CPUs; on smaller machines the
-    check is reported and skipped (a spin-barrier pool cannot speed up a
+    check is reported and skipped (a worker pool cannot speed up a
     1-core box, and failing there would only test the container size).
 
 Wall-clock numbers are machine-dependent, so the absolute gates are
@@ -140,12 +147,35 @@ def check_parallel(args) -> bool:
     per_thread = {t["threads"]: t for t in cur.get("threads", [])}
     for n, row in sorted(per_thread.items()):
         allocs = row["allocs_per_event"]
+        epw = row.get("events_per_window")
+        epw_txt = f", {epw:,.0f} events/window" if epw is not None else ""
         print(f"bench_check: parallel {n}t {row['events_per_sec']:,.0f} "
-              f"events/sec, allocs/event {allocs:.6f}")
-        if allocs > args.max_allocs:
+              f"events/sec, allocs/event {allocs:.6f}{epw_txt}")
+        if allocs > args.parallel_max_allocs:
             print(f"bench_check: REGRESSION: steady-state allocations in "
-                  f"the sharded hot path at {n} threads", file=sys.stderr)
+                  f"the sharded hot path at {n} threads (must be exactly "
+                  f"{args.parallel_max_allocs:g})", file=sys.stderr)
             ok = False
+        # Batching-quality gate (key absent from pre-batching baselines and
+        # binaries — skip then). Dense all-to-all must run hundreds of
+        # events per non-empty quantum; a collapse back to one-lookahead
+        # windows is a scheduler regression even when digests still match.
+        if epw is not None and epw < args.min_events_per_window:
+            print(f"bench_check: REGRESSION: all-to-all events/window "
+                  f"{epw:,.1f} at {n} threads below "
+                  f"{args.min_events_per_window:g} — window batching "
+                  f"collapsed", file=sys.stderr)
+            ok = False
+
+    # Ring neighbor-exchange sweep (absent from older binaries — skip
+    # then). Digest identity is already folded into top-level digest_ok;
+    # report the sparse-workload figures for the record.
+    ring = cur.get("ring")
+    if ring:
+        for row in ring.get("threads", []):
+            print(f"bench_check: ring {row['threads']}t "
+                  f"{row['events_per_sec']:,.0f} events/sec, "
+                  f"{row['events_per_window']:,.0f} events/window")
 
     # Serial-mode regression: same run, same machine, so the tolerance can
     # be tight. shard_tax is (serial - parallel@1t)/serial; negative means
@@ -203,8 +233,16 @@ def main() -> int:
                     help="max tolerated slowdown vs baseline "
                          "(default: %(default)s)")
     ap.add_argument("--max-allocs", type=float, default=0.01,
-                    help="max allocs/event before failing "
+                    help="max allocs/event in the substrate gate "
                          "(default: %(default)s)")
+    ap.add_argument("--parallel-max-allocs", type=float, default=0.0,
+                    help="max allocs/event in the parallel gate — the "
+                         "sharded steady state is allocation-free, so the "
+                         "pin is exact (default: %(default)s)")
+    ap.add_argument("--min-events-per-window", type=float, default=50.0,
+                    help="min events per non-empty quantum on the "
+                         "all-to-all parallel workload (default: "
+                         "%(default)s)")
     ap.add_argument("--min-speedup", type=float, default=1.5,
                     help="min 4-thread speedup, enforced when cpus >= 4 "
                          "(default: %(default)s)")

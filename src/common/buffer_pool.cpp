@@ -88,7 +88,7 @@ void BufferPool::return_block(detail::BlockHeader* h) noexcept {
   ++stats_.releases;
   if (stats_.outstanding > 0) --stats_.outstanding;
   std::size_t cls = class_for_capacity(h->capacity);
-  if (cls >= kClasses || free_blocks_[cls].size() >= kRetainPerClass) {
+  if (cls >= kClasses || free_blocks_[cls].size() >= retain_limit(cls)) {
     detail::free_block(h);
     return;
   }
@@ -103,7 +103,7 @@ void BufferPool::release(Bytes&& b) {
   ++stats_.releases;
   if (stats_.outstanding > 0) --stats_.outstanding;
   std::size_t cls = class_for_capacity(b.capacity());
-  if (cls >= kClasses || free_[cls].size() >= kRetainPerClass) return;
+  if (cls >= kClasses || free_[cls].size() >= retain_limit(cls)) return;
   free_[cls].push_back(std::move(b));
   if (++stats_.free_buffers > stats_.free_high) {
     stats_.free_high = stats_.free_buffers;

@@ -47,8 +47,12 @@ class BufferPool {
   Bytes acquire(std::size_t n, bool* fresh = nullptr);
 
   /// Return a buffer to the pool. Buffers with no capacity are ignored;
-  /// classes already holding kRetainPerClass buffers drop the excess back
-  /// to the allocator so a burst can't pin memory forever.
+  /// classes already at their retention limit drop the excess back to the
+  /// allocator so a burst can't pin memory forever. The limit is a byte
+  /// budget per class (with a small floor), not a flat count: packet-sized
+  /// classes retain thousands of buffers — batched parallel quanta
+  /// legitimately keep hundreds of packets alive at once, and a flat cap
+  /// would put the allocator back on the steady-state path every burst.
   void release(Bytes&& b);
 
   /// Refcounted sibling of acquire(): a unique BufferRef with size() == n,
@@ -73,10 +77,17 @@ class BufferPool {
   static constexpr std::size_t kMinClassLog2 = 6;
   static constexpr std::size_t kMaxClassLog2 = 20;
   static constexpr std::size_t kClasses = kMaxClassLog2 - kMinClassLog2 + 1;
-  static constexpr std::size_t kRetainPerClass = 64;
+  static constexpr std::size_t kRetainPerClass = 64;  // floor, any class
+  static constexpr std::size_t kRetainBytesPerClass = std::size_t{4} << 20;
 
   static std::size_t class_for_request(std::size_t n) noexcept;
   static std::size_t class_for_capacity(std::size_t cap) noexcept;
+  /// Max buffers parked in class `cls`: the byte budget divided by the
+  /// class capacity, floored at kRetainPerClass.
+  static std::size_t retain_limit(std::size_t cls) noexcept {
+    const std::size_t by_bytes = kRetainBytesPerClass >> (cls + kMinClassLog2);
+    return by_bytes > kRetainPerClass ? by_bytes : kRetainPerClass;
+  }
 
   std::array<std::vector<Bytes>, kClasses> free_;
   std::array<std::vector<detail::BlockHeader*>, kClasses> free_blocks_;

@@ -25,6 +25,12 @@ Fabric::Fabric(sim::Engine& eng, const FabricParams& p, int n_hosts)
         std::make_unique<Link>(eng_, p_.link_latency + p_.switch_latency));
   }
   endpoints_.resize(n_hosts);
+  // Park slots recycle through free_parked_, so the vector only grows to
+  // the peak number of remote arrivals simultaneously awaiting delivery.
+  // Pay that growth here rather than mid-run: a deep-credit streaming pair
+  // can push the peak past whatever a short warmup happened to reach.
+  parked_.reserve(256);
+  free_parked_.reserve(256);
 }
 
 void Fabric::attach(int host, sim::Channel<WirePacket>* wire_in,

@@ -98,6 +98,17 @@ class Fabric {
     return p.link_latency + p.switch_latency;
   }
 
+  /// Next-free time of `host`'s uplink serializer. Every packet a host
+  /// sends — cross-shard or not — must first serialize through this link,
+  /// and SerialResource reservations are monotone, so in parallel runs the
+  /// cluster's emission-bound hook (myrinet/parallel_cluster.cpp) reads it
+  /// as a dynamic lower bound on future cross-shard traffic: while a host
+  /// streams, its uplink is reserved microseconds ahead, which is what lets
+  /// peer shards batch far past the static one-hop lookahead.
+  sim::Ps uplink_free(int host) const noexcept {
+    return up_[host]->ser.next_free();
+  }
+
   /// Make this fabric one shard's replica of the cluster fabric.
   /// `shard_of_node` maps node id -> owning shard (must outlive the
   /// fabric); packets to non-local destinations go out through `port`, and

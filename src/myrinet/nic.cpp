@@ -32,10 +32,17 @@ sim::Task<void> Nic::tx_fetch_program() {
 sim::Task<void> Nic::tx_inject_program() {
   for (;;) {
     SendDescriptor d = co_await tx_sram_.pop();
+    // Arm the wire floor across each delay: while suspended here the next
+    // transmit can land exactly at the wake, not a full floor_gap_ past the
+    // shard's next event (see Nic::wire_floor).
+    inject_armed_ = eng_.now() + p_.per_packet_tx;
     co_await eng_.delay(p_.per_packet_tx);
+    inject_armed_ = kNeverArmed;
     if (fault_ != nullptr) {
       if (sim::Ps stall = fault_->tx_pacing(id_); stall > 0) {
+        inject_armed_ = eng_.now() + stall;
         co_await eng_.delay(stall);
+        inject_armed_ = kNeverArmed;
       }
     }
     ++stats_.tx_packets;
@@ -45,7 +52,11 @@ sim::Task<void> Nic::tx_inject_program() {
       PeerTx& pt = tx_peers_[d.dst];
       while (pt.retained.size() >=
              static_cast<std::size_t>(p_.retransmit_window)) {
+        // The ack that opens the window releases us within its own event;
+        // the floor collapses to e while we sit here.
+        ++window_blocked_;
         co_await window_cv_.wait();
+        --window_blocked_;
       }
       pkt.link_seq = pt.next_seq++;
       PeerRx& pr = rx_peers_[d.dst];
@@ -165,7 +176,13 @@ sim::Task<void> Nic::ack_program() {
       co_await ack_cv_.wait();
       continue;
     }
+    ack_armed_ = eng_.now() + p_.ack_delay;
     co_await eng_.delay(p_.ack_delay);
+    ack_armed_ = kNeverArmed;
+    // Back-to-back ack transmits wake at uplink drains, with no interposed
+    // delay; the floor drops to e for the burst (the uplink next-free term
+    // still covers the true heads).
+    ++emit_loops_;
     for (int peer = 0; peer < static_cast<int>(rx_peers_.size()); ++peer) {
       PeerRx& pr = rx_peers_[peer];
       if (!pr.ack_due) continue;
@@ -177,6 +194,7 @@ sim::Task<void> Nic::ack_program() {
       ++stats_.acks_sent;
       co_await fabric_.transmit(std::move(ack));
     }
+    --emit_loops_;
   }
 }
 
@@ -190,7 +208,10 @@ sim::Task<void> Nic::retransmit_program() {
       co_await rtx_cv_.wait();
       continue;
     }
+    retx_armed_ = eng_.now() + p_.retransmit_timeout / 2;
     co_await eng_.delay(p_.retransmit_timeout / 2);
+    retx_armed_ = kNeverArmed;
+    ++emit_loops_;
     for (int peer = 0; peer < static_cast<int>(tx_peers_.size()); ++peer) {
       PeerTx& pt = tx_peers_[peer];
       if (pt.retained.empty()) continue;
@@ -209,6 +230,7 @@ sim::Task<void> Nic::retransmit_program() {
         co_await fabric_.transmit(pkt);
       }
     }
+    --emit_loops_;
   }
 }
 

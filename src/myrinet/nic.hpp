@@ -5,9 +5,11 @@
 // verifies CRC, and DMAs packets into the host receive ring.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <limits>
 
 #include "myrinet/fabric.hpp"
 #include "myrinet/fault_hooks.hpp"
@@ -67,9 +69,19 @@ class Nic {
         ack_cv_(eng),
         rtx_cv_(eng) {
     fabric_.attach(id, &wire_in_, &rx_slack_);
+    // Reach each bounded queue's high-water mark now: these are credit- or
+    // slot-limited, so a deep streaming burst (e.g. one pair holding every
+    // host-ring credit) can legally fill them mid-run, and the data path
+    // must stay off the allocator when it does.
+    tx_queue_.reserve(p.tx_queue_slots);
+    tx_sram_.reserve(p.sram_tx_slots);
+    host_ring_.reserve(p.host_ring_slots);
+    floor_gap_ = p_.per_packet_tx;
     if (p_.reliable_link) {
       tx_peers_.resize(fabric_.n_hosts());
       rx_peers_.resize(fabric_.n_hosts());
+      floor_gap_ = std::min(
+          {floor_gap_, p_.ack_delay, p_.retransmit_timeout / 2});
     }
   }
   Nic(const Nic&) = delete;
@@ -124,6 +136,25 @@ class Nic {
   /// Arm (or disarm) per-NIC fault pacing; shares the cluster's injector.
   void set_fault(FaultInjector* f) noexcept { fault_ = f; }
 
+  /// Lower bound on when this NIC can next invoke Fabric::transmit, given
+  /// that no local event runs before `e` (the shard's next-event time).
+  /// Every *fresh* injection is separated from the event that triggers it
+  /// by a control-program delay of at least floor_gap_ (per-packet tx time,
+  /// ack coalescing window, or timeout sweep), so the floor is e +
+  /// floor_gap_ except in three observable mid-pipeline states: a delay
+  /// already armed (wire hit at its wake), a sender blocked on the
+  /// retransmit window (an arriving ack releases it within the same
+  /// event), or an ack/retransmit burst mid-loop (back-to-back transmits
+  /// at uplink-drain wakes). The parallel scheduler combines this with the
+  /// uplink next-free time, which covers the burst states' actual heads —
+  /// see ParallelCluster::emission_bound.
+  sim::Ps wire_floor(sim::Ps e) const noexcept {
+    constexpr sim::Ps kNever = std::numeric_limits<sim::Ps>::max();
+    if (window_blocked_ > 0 || emit_loops_ > 0) return e;
+    sim::Ps f = e > kNever - floor_gap_ ? kNever : e + floor_gap_;
+    return std::min({f, inject_armed_, ack_armed_, retx_armed_});
+  }
+
   // --- Quiescence accessors (invariant checker) ---------------------------
   /// Inbound SRAM slack tokens currently home. Equals sram_rx_slots when no
   /// packet is in flight toward, buffered in, or staged inside this NIC.
@@ -177,6 +208,15 @@ class Nic {
   sim::CondVar rtx_cv_;      // retained packets exist
   FaultInjector* fault_ = nullptr;
   Stats stats_;
+  // wire_floor state, written only by this NIC's control programs (same
+  // engine, hence same worker thread as the emission-bound hook).
+  static constexpr sim::Ps kNeverArmed = std::numeric_limits<sim::Ps>::max();
+  sim::Ps floor_gap_ = 0;             // min delay before any fresh transmit
+  sim::Ps inject_armed_ = kNeverArmed;  // tx inject mid-delay: wake time
+  sim::Ps ack_armed_ = kNeverArmed;     // ack program mid-coalesce-delay
+  sim::Ps retx_armed_ = kNeverArmed;    // retransmit mid-sweep-delay
+  int window_blocked_ = 0;  // senders blocked on the retransmit window
+  int emit_loops_ = 0;      // ack/retransmit bursts currently mid-loop
 };
 
 }  // namespace fmx::net

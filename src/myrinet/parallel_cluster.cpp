@@ -2,9 +2,11 @@
 
 #include "common/copy_stats.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <type_traits>
 
@@ -77,6 +79,44 @@ void decode(const std::byte* slot, Fabric& dst_fabric) {
 
 constexpr std::size_t kRingSlots = 256;
 
+// Contiguous node ranges per shard (aligns with switch locality).
+std::vector<std::int32_t> make_shard_of(int n_hosts, int k) {
+  std::vector<std::int32_t> out(n_hosts);
+  for (int i = 0; i < n_hosts; ++i) {
+    out[i] = static_cast<std::int32_t>(
+        static_cast<std::int64_t>(i) * k / n_hosts);
+  }
+  return out;
+}
+
+// Per-pair lookahead: the minimum source-side head latency from any host
+// of `src` to any host of `dst`. A cross-shard packet's head reaches the
+// destination shard no earlier than uplink (link + switch-entry routing)
+// plus one (link + switch) per inter-switch hop — the same per-link terms
+// Fabric::transmit reserves, with serialization and contention stripped.
+// Adjacent shards get the classic one-hop 850 ns; shards further down the
+// switch chain synchronize proportionally less often.
+std::vector<sim::Ps> make_lookahead(const ClusterParams& p,
+                                    const std::vector<std::int32_t>& shard_of,
+                                    int k) {
+  const sim::Ps unit = p.fabric.link_latency + p.fabric.switch_latency;
+  std::vector<sim::Ps> la(static_cast<std::size_t>(k) * k,
+                          std::numeric_limits<sim::Ps>::max());
+  for (int a = 0; a < p.n_hosts; ++a) {
+    for (int b = 0; b < p.n_hosts; ++b) {
+      const int sa = shard_of[a];
+      const int sb = shard_of[b];
+      if (sa == sb) continue;
+      const int inter = std::abs(a / p.fabric.hosts_per_switch -
+                                 b / p.fabric.hosts_per_switch);
+      const sim::Ps v = static_cast<sim::Ps>(1 + inter) * unit;
+      sim::Ps& cell = la[static_cast<std::size_t>(sa) * k + sb];
+      if (v < cell) cell = v;
+    }
+  }
+  return la;
+}
+
 }  // namespace
 
 // Source-shard side of the exchange: serialize into the (src,dst) ring, or
@@ -93,21 +133,33 @@ class ParallelCluster::Port final : public CrossShardPort {
     const std::uint64_t key =
         (static_cast<std::uint64_t>(pkt.src) << 44) | ctr_++;
     assert((ctr_ & (std::uint64_t{1} << 44)) == 0 && "cross counter overflow");
-    Ring& r = cl_->ring(shard_, cl_->shard_of_[pkt.dst]);
+    const int dst_shard = cl_->shard_of_[pkt.dst];
+    Ring& r = cl_->ring(shard_, dst_shard);
     const std::size_t need = sizeof(CrossMsg) + pkt.payload.size();
+    bool pushed = false;
     if (need <= r.ring.slot_bytes()) {
       if (std::byte* slot = r.ring.try_push_slot()) {
         encode(slot, pkt, head, key);
         r.ring.commit_push();
-        return;
+        pushed = true;
       }
     }
-    std::vector<std::byte> buf(need);
-    encode(buf.data(), pkt, head, key);
-    std::lock_guard<std::mutex> lock(r.mu);
-    r.spill.push_back(std::move(buf));
-    r.spilled.store(static_cast<std::uint32_t>(r.spill.size()),
-                    std::memory_order_release);
+    if (!pushed) {
+      std::lock_guard<std::mutex> lock(r.mu);
+      if (r.pool.empty()) {
+        r.spill.emplace_back(need);
+      } else {
+        r.spill.push_back(std::move(r.pool.back()));
+        r.pool.pop_back();
+        if (r.spill.back().size() < need) r.spill.back().resize(need);
+      }
+      encode(r.spill.back().data(), pkt, head, key);
+      r.spilled.store(static_cast<std::uint32_t>(r.spill.size()),
+                      std::memory_order_release);
+    }
+    // After the commit: the bucket must never cover a message the
+    // destination cannot yet see.
+    cl_->par_.note_emission(shard_, dst_shard, head);
   }
 
  private:
@@ -119,12 +171,27 @@ class ParallelCluster::Port final : public CrossShardPort {
 ParallelCluster::ParallelCluster(const ClusterParams& p, int n_shards)
     : params_(p),
       n_shards_(n_shards <= 0 || n_shards > p.n_hosts ? p.n_hosts : n_shards),
-      par_(n_shards_, Fabric::cross_lookahead(p.fabric)) {
-  // Contiguous node ranges per shard (aligns with switch locality).
-  shard_of_.resize(p.n_hosts);
-  for (int i = 0; i < p.n_hosts; ++i) {
-    shard_of_[i] = static_cast<std::int32_t>(
-        static_cast<std::int64_t>(i) * n_shards_ / p.n_hosts);
+      shard_of_(make_shard_of(p.n_hosts, n_shards_)),
+      par_(n_shards_, make_lookahead(p, shard_of_, n_shards_)) {
+  // Host range [shard_begin_[s], shard_begin_[s+1]) owned by shard s, and
+  // the static head-latency table the emission-bound hook adds to dynamic
+  // uplink state: sl_host_[a][d] = min over hosts b of shard d of the
+  // source-side path latency a -> b.
+  shard_begin_.assign(n_shards_ + 1, p.n_hosts);
+  for (int i = p.n_hosts - 1; i >= 0; --i) shard_begin_[shard_of_[i]] = i;
+  const sim::Ps unit = p.fabric.link_latency + p.fabric.switch_latency;
+  sl_host_.assign(static_cast<std::size_t>(p.n_hosts) * n_shards_,
+                  std::numeric_limits<sim::Ps>::max());
+  for (int a = 0; a < p.n_hosts; ++a) {
+    for (int b = 0; b < p.n_hosts; ++b) {
+      if (shard_of_[b] == shard_of_[a]) continue;
+      const int inter = std::abs(a / p.fabric.hosts_per_switch -
+                                 b / p.fabric.hosts_per_switch);
+      const sim::Ps v = static_cast<sim::Ps>(1 + inter) * unit;
+      sim::Ps& cell =
+          sl_host_[static_cast<std::size_t>(a) * n_shards_ + shard_of_[b]];
+      if (v < cell) cell = v;
+    }
   }
 
   // Slot must fit the largest wire payload a NIC will send (MTU payload +
@@ -149,6 +216,19 @@ ParallelCluster::ParallelCluster(const ClusterParams& p, int n_shards)
     ports_.push_back(std::make_unique<Port>(this, s));
     fabrics_[s]->set_parallel(ports_[s].get(), shard_of_.data(), s);
     par_.set_drain(s, [this, s] { drain_into(s); });
+    par_.set_emission_bound(
+        s, [this, s](sim::Ps e, sim::Ps* out) { emission_bound(s, e, out); });
+    par_.set_inbox_empty(s, [this, s] { return inbox_empty(s); });
+    // Minimum reaction time of a shard to an inbound packet: every causal
+    // response flows through Nic::rx_wire_program, which charges
+    // per_packet_rx before anything downstream can observe the packet. In
+    // clean mode the response emission additionally pays a fresh
+    // tx_inject per_packet_tx; with reliable links an arriving ack can
+    // release a window-blocked sender in the same timestamp as its rx
+    // processing, so only the rx term is safe there.
+    par_.set_reaction_gap(
+        s, p.nic.per_packet_rx +
+               (p.nic.reliable_link ? sim::Ps{0} : p.nic.per_packet_tx));
   }
 
   nodes_.reserve(p.n_hosts);
@@ -156,6 +236,25 @@ ParallelCluster::ParallelCluster(const ClusterParams& p, int n_shards)
     const int s = shard_of_[i];
     nodes_.push_back(
         std::make_unique<Node>(par_.shard(s), i, p, *fabrics_[s]));
+  }
+
+  // Pre-warm every shard's buffer pool across the packet size classes.
+  // Under batched quanta the peak number of simultaneously live blocks
+  // depends on cross-shard thread timing, so a warmup wave cannot
+  // deterministically reach the high-water mark the way it does in serial
+  // runs; paying the structural worst case here keeps the steady-state
+  // data path off the allocator at any interleaving.
+  for (int s = 0; s < n_shards_; ++s) {
+    const int hosts = shard_begin_[s + 1] - shard_begin_[s];
+    const int per_class = 128 * (hosts + 1);
+    std::vector<BufferRef> warm;
+    warm.reserve(static_cast<std::size_t>(per_class));
+    for (std::size_t sz = 64; sz / 2 < slot_bytes; sz *= 2) {
+      warm.clear();
+      for (int i = 0; i < per_class; ++i) {
+        warm.push_back(fabrics_[s]->pool().acquire_ref(sz));
+      }
+    }
   }
   expose_metrics();
 }
@@ -167,20 +266,76 @@ void ParallelCluster::drain_into(int dst_shard) {
   for (int s = 0; s < n_shards_; ++s) {
     if (s == dst_shard) continue;
     Ring& r = ring(s, dst_shard);
+    std::uint64_t n = 0;
     while (const std::byte* slot = r.ring.front()) {
       decode(slot, f);
       r.ring.pop();
+      ++n;
     }
     if (r.spilled.load(std::memory_order_acquire) != 0) {
-      std::vector<std::vector<std::byte>> taken;
       {
         std::lock_guard<std::mutex> lock(r.mu);
-        taken.swap(r.spill);
+        r.drained.swap(r.spill);
         r.spilled.store(0, std::memory_order_release);
       }
-      for (const auto& buf : taken) decode(buf.data(), f);
+      for (const auto& buf : r.drained) decode(buf.data(), f);
+      n += r.drained.size();
+      {
+        std::lock_guard<std::mutex> lock(r.mu);
+        for (auto& buf : r.drained) r.pool.push_back(std::move(buf));
+      }
+      r.drained.clear();
+    }
+    if (n != 0) par_.note_drained(dst_shard, s, n);
+  }
+}
+
+// Lower bound on the head-arrival time of any cross-shard packet this
+// shard can still emit, per destination shard, given that no local event
+// runs before `e`. Two dynamic terms sharpen the static latency:
+//
+//   - The source host's uplink next-free time: every emission serializes
+//     through Fabric::transmit, and SerialResource reservations are
+//     monotone. While a host streams, its uplink sits reserved several
+//     microseconds ahead of the clock.
+//   - The NIC wire floor: the NIC is the only transmit caller, and a
+//     fresh injection trails the event that triggers it by at least the
+//     per-packet tx overhead (or the ack/timeout windows in reliable
+//     mode) — Nic::wire_floor tracks the armed mid-pipeline states where
+//     that gap has already partly elapsed. This is what keeps quanta
+//     wider than the static 850 ns even when senders sit credit-blocked
+//     with idle uplinks.
+//
+// max of the two, plus the metric-closed path latency, per source host;
+// min over the shard's hosts per destination.
+void ParallelCluster::emission_bound(int shard, sim::Ps e,
+                                     sim::Ps* out) const {
+  constexpr sim::Ps kNever = std::numeric_limits<sim::Ps>::max();
+  for (int d = 0; d < n_shards_; ++d) out[d] = kNever;
+  const Fabric& f = *fabrics_[shard];
+  for (int a = shard_begin_[shard]; a < shard_begin_[shard + 1]; ++a) {
+    const sim::Ps base =
+        std::max(f.uplink_free(a), nodes_[a]->nic().wire_floor(e));
+    const sim::Ps* sl = &sl_host_[static_cast<std::size_t>(a) * n_shards_];
+    for (int d = 0; d < n_shards_; ++d) {
+      if (sl[d] == kNever) continue;  // own shard
+      const sim::Ps v = base > kNever - sl[d] ? kNever : base + sl[d];
+      if (v < out[d]) out[d] = v;
     }
   }
+}
+
+// Termination-sweep predicate: nothing published to this shard is still
+// undrained. Runs with every worker parked (ParallelEngine guarantees
+// exclusivity through its idle mutex), so ring indices are quiescent.
+bool ParallelCluster::inbox_empty(int shard) const {
+  for (int s = 0; s < n_shards_; ++s) {
+    if (s == shard) continue;
+    const Ring& r = *rings_[s * n_shards_ + shard];
+    if (!r.ring.empty()) return false;
+    if (r.spilled.load(std::memory_order_acquire) != 0) return false;
+  }
+  return true;
 }
 
 ParallelCluster::RunResult ParallelCluster::run(int n_threads) {
@@ -189,7 +344,7 @@ ParallelCluster::RunResult ParallelCluster::run(int n_threads) {
     if (n_threads <= 0) n_threads = 1;
   }
   sim::ParallelEngine::RunResult r = par_.run(n_threads);
-  return RunResult{r.events, r.windows, r.pending_roots};
+  return RunResult{r.events, r.windows, r.barrier_crossings, r.pending_roots};
 }
 
 int ParallelCluster::env_threads() {

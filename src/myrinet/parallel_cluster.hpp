@@ -33,6 +33,7 @@
 // RunResult::pending_roots).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -60,21 +61,42 @@ class ParallelCluster {
   const ClusterParams& params() const noexcept { return params_; }
 
   sim::ParallelEngine& par() noexcept { return par_; }
+  const sim::ParallelEngine& par() const noexcept { return par_; }
+  /// Static per-pair lookahead: min head latency of any cross-shard path
+  /// from a host of `src_shard` to a host of `dst_shard` (metric-closed).
+  sim::Ps lookahead(int src_shard, int dst_shard) const {
+    return par_.lookahead(src_shard, dst_shard);
+  }
   sim::Engine& shard_engine(int s) { return par_.shard(s); }
   sim::Engine& engine_of(int node) { return par_.shard(shard_of_[node]); }
   Fabric& shard_fabric(int s) { return *fabrics_[s]; }
   Fabric& fabric_of(int node) { return *fabrics_[shard_of_[node]]; }
   Node& node(int i) { return *nodes_[i]; }
 
-  /// Spawn a root task on the shard that owns `node` (engine clocks are in
-  /// lockstep only at barriers; spawn before run() or from node-local code).
+  /// Spawn a root task on the shard that owns `node`, starting at the
+  /// cluster-wide maximum engine clock. Shard clocks quiesce at different
+  /// instants (each stops at its own last event), and roots launched at
+  /// each shard's local `now` would start a fresh wave already skewed —
+  /// the laggard shard then clamps every peer's conservative bound, and
+  /// the residue compounds wave over wave. Aligning the start resets the
+  /// skew. Only callable between runs (no workers active), which is the
+  /// only time reading foreign shard clocks is race-free.
   void spawn_on(int node, sim::Task<void> t) {
-    engine_of(node).spawn(std::move(t));
+    sim::Ps t0 = 0;
+    for (int s = 0; s < par_.n_shards(); ++s) {
+      t0 = std::max(t0, par_.shard(s).now());
+    }
+    engine_of(node).spawn_at(t0, std::move(t));
   }
 
   struct RunResult {
     std::uint64_t events = 0;
+    /// Advance quanta that executed events, summed over shards (see
+    /// sim::ParallelEngine::RunResult::windows). A meter, not part of any
+    /// determinism digest — it depends on thread scheduling.
     std::uint64_t windows = 0;
+    /// Times a worker fell off the spin/yield fast path and parked.
+    std::uint64_t barrier_crossings = 0;
     int pending_roots = 0;
   };
   /// Run to global quiescence. `n_threads` 0 means: $FMX_THREADS if set,
@@ -97,13 +119,29 @@ class ParallelCluster {
   class Port;
   // One directed ring per shard pair. Ring overflow (bounded by design:
   // FM-level credits cap in-flight data) falls back to a mutex-guarded
-  // spill vector; order between ring and spill is irrelevant because
-  // arrivals sort by their cross keys, not by drain order.
+  // spill list; order between ring and spill is irrelevant because
+  // arrivals sort by their cross keys, not by drain order. Spill buffers
+  // cycle through a pre-warmed pool (and the list vectors themselves keep
+  // their capacity across swaps), so the overflow path stays
+  // allocation-free in steady state — batched quanta legitimately let a
+  // producer run hundreds of emissions ahead of a drain.
   struct Ring {
-    Ring(std::size_t slots, std::size_t slot_bytes) : ring(slots, slot_bytes) {}
+    Ring(std::size_t slots, std::size_t slot_bytes) : ring(slots, slot_bytes) {
+      // Half the ring depth again in spill buffers: a consumer preempted on
+      // a loaded box can leave the ring full plus this many slots spilled
+      // before the overflow path has to touch the allocator.
+      const std::size_t prewarm = slots / 2;
+      pool.reserve(4 * slots);
+      spill.reserve(4 * slots);
+      drained.reserve(4 * slots);
+      for (std::size_t i = 0; i < prewarm; ++i) pool.emplace_back(slot_bytes);
+    }
     sim::SpscSlotRing ring;
     std::mutex mu;
-    std::vector<std::vector<std::byte>> spill;
+    std::vector<std::vector<std::byte>> spill;  // guarded by mu
+    std::vector<std::vector<std::byte>> pool;   // guarded by mu
+    // Consumer-side scratch, touched only by the destination shard's owner.
+    std::vector<std::vector<std::byte>> drained;
     std::atomic<std::uint32_t> spilled{0};
   };
 
@@ -111,11 +149,19 @@ class ParallelCluster {
     return *rings_[src_shard * n_shards_ + dst_shard];
   }
   void drain_into(int dst_shard);
+  void emission_bound(int shard, sim::Ps e, sim::Ps* out) const;
+  bool inbox_empty(int shard) const;
   void expose_metrics();
 
   ClusterParams params_;
   int n_shards_;
   std::vector<std::int32_t> shard_of_;
+  // Static source-side head latency host -> destination shard: the minimum
+  // time from an emission on host `a` to a packet head reaching any host
+  // of shard `d` (uplink + switch chain; row-major n_hosts x n_shards).
+  // The emission-bound hook adds this to max(uplink next-free, next-event).
+  std::vector<sim::Ps> sl_host_;
+  std::vector<int> shard_begin_;  // host range [shard_begin_[s], shard_begin_[s+1])
   sim::ParallelEngine par_;
   std::vector<std::unique_ptr<Fabric>> fabrics_;
   std::vector<std::unique_ptr<Port>> ports_;

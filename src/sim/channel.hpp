@@ -80,6 +80,10 @@ class Channel {
     return v;
   }
 
+  /// Pre-size the backing ring (see RingQueue::reserve). For a bounded
+  /// channel, reserve(capacity()) makes push allocation-free forever.
+  void reserve(std::size_t n) { buf_.reserve(n); }
+
   const T& front() const { return buf_.front(); }
   std::size_t size() const noexcept { return buf_.size(); }
   std::size_t capacity() const noexcept { return capacity_; }

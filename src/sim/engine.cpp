@@ -75,6 +75,11 @@ void Engine::spawn(Task<void> task) {
   schedule_at(now_, drive(std::move(task), &live_roots_).handle);
 }
 
+void Engine::spawn_at(Ps t, Task<void> task) {
+  ++live_roots_;
+  schedule_at(t < now_ ? now_ : t, drive(std::move(task), &live_roots_).handle);
+}
+
 void Engine::spawn_daemon(Task<void> task) {
   schedule_at(now_, drive(std::move(task), &daemon_roots_).handle);
 }
@@ -101,6 +106,12 @@ std::uint64_t Engine::run(Ps until) {
   const std::uint64_t before = processed_;
   while (!queue_.empty() && queue_.min_time() <= until) step();
   if (now_ < until && until != std::numeric_limits<Ps>::max()) now_ = until;
+  return processed_ - before;
+}
+
+std::uint64_t Engine::run_below(const Ps* cap) {
+  const std::uint64_t before = processed_;
+  while (!queue_.empty() && queue_.min_time() < *cap) step();
   return processed_ - before;
 }
 

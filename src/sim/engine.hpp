@@ -119,7 +119,14 @@ class SmallFn {
 
 class Engine {
  public:
-  Engine() = default;
+  Engine() {
+    // Callback slots recycle through free_fn_slots_, so growth stops at the
+    // peak number of simultaneously scheduled callbacks. Reserve past any
+    // realistic peak up front so the event hot path never allocates, even
+    // when a deep burst first occurs mid-measurement.
+    fn_slots_.reserve(256);
+    free_fn_slots_.reserve(256);
+  }
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -153,6 +160,11 @@ class Engine {
   /// while roots are still suspended on conditions that will never fire).
   void spawn(Task<void> task);
 
+  /// Like spawn, but starts the root at time `t` (clamped to now). Lets a
+  /// multi-engine harness launch work at a common instant even when the
+  /// engines' clocks drifted apart during a previous run.
+  void spawn_at(Ps t, Task<void> task);
+
   /// Like spawn, but for server loops that intentionally never finish (NIC
   /// control programs, switch ports). Not counted in pending_roots().
   void spawn_daemon(Task<void> task);
@@ -166,6 +178,18 @@ class Engine {
   /// Returns the number of events processed by this call (the delta of
   /// events_processed() across it).
   std::uint64_t run(Ps until = std::numeric_limits<Ps>::max());
+
+  /// Run events strictly below `*cap`, rereading the cap before every
+  /// event: code executed *by* an event may lower it mid-run (the parallel
+  /// scheduler does, when an event emits a cross-shard message whose echo
+  /// bounds how far this shard may safely advance). Unlike run(), never
+  /// advances the clock past the last executed event: an idle engine keeps
+  /// now() at its last activity instead of jumping to the cap, so a
+  /// shard's final clock is a pure function of its event history, not of
+  /// the horizon its worker happened to observe — quantum boundaries are
+  /// thread-timing-dependent, clocks must not be. The cap must only be
+  /// written from this thread (it is reread, not synchronized).
+  std::uint64_t run_below(const Ps* cap);
 
   /// Process a single event; returns false if the queue is empty.
   bool step();

@@ -1,123 +1,410 @@
 #include "sim/parallel.hpp"
 
 #include <cassert>
+#include <chrono>
 #include <limits>
-#include <thread>
 
 namespace fmx::sim {
 namespace {
 
 constexpr Ps kNever = std::numeric_limits<Ps>::max();
 
+constexpr Ps sat_add(Ps a, Ps b) noexcept {
+  return a > kNever - b ? kNever : a + b;
+}
+
+// Full fast passes over the owned shards before backing off. A pass is
+// already substantial work (k-1 horizon loads + ring probes per shard), so
+// the pure-spin budget is small; yields keep oversubscribed runs (more
+// workers than cores: CI, TSan) moving.
+constexpr int kSpinPasses = 4;
+constexpr int kYieldPasses = 64;
+constexpr auto kParkTimeout = std::chrono::microseconds(100);
+
 }  // namespace
 
-// Sense-reversing spin barrier. The epilogue of the last arriver runs while
-// every other thread waits, so it may read and write the shared window
-// state without locks; its writes are published by the generation bump
-// (release) and observed through the waiters' acquire loads. Spins fall
-// back to yield so progress is reasonable even with more workers than
-// cores (CI machines, TSAN runs).
-struct ParallelEngine::Shared {
-  explicit Shared(int n) : n_threads(n) {}
+ParallelEngine::ParallelEngine(int n_shards, Ps lookahead)
+    : ParallelEngine(n_shards,
+                     std::vector<Ps>(
+                         static_cast<std::size_t>(n_shards) * n_shards,
+                         lookahead)) {}
 
-  template <typename F>
-  void arrive_and_wait(F&& epilogue) {
-    const std::uint32_t g = gen.load(std::memory_order_acquire);
-    if (arrived.fetch_add(1, std::memory_order_acq_rel) + 1 == n_threads) {
-      epilogue();
-      arrived.store(0, std::memory_order_relaxed);
-      gen.store(g + 1, std::memory_order_release);
-    } else {
-      int spins = 0;
-      while (gen.load(std::memory_order_acquire) == g) {
-        if (++spins > 128) std::this_thread::yield();
+ParallelEngine::ParallelEngine(int n_shards, std::vector<Ps> lookahead)
+    : lookahead_(std::move(lookahead)) {
+  assert(n_shards >= 1);
+  assert(lookahead_.size() ==
+         static_cast<std::size_t>(n_shards) * n_shards);
+  const std::size_t k = static_cast<std::size_t>(n_shards);
+  for (std::size_t s = 0; s < k; ++s) lookahead_[s * k + s] = 0;
+  // Metric closure (Floyd–Warshall): a relay chain src -> x -> dst is a
+  // real propagation path, so the direct bound may never exceed it. The
+  // soundness induction in the header leans on exactly this property.
+  for (std::size_t x = 0; x < k; ++x) {
+    for (std::size_t a = 0; a < k; ++a) {
+      for (std::size_t b = 0; b < k; ++b) {
+        const Ps via = sat_add(lookahead_[a * k + x], lookahead_[x * k + b]);
+        if (via < lookahead_[a * k + b]) lookahead_[a * k + b] = via;
       }
     }
   }
+  min_lookahead_ = kNever;
+  for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t b = 0; b < k; ++b) {
+      if (a != b && lookahead_[a * k + b] < min_lookahead_) {
+        min_lookahead_ = lookahead_[a * k + b];
+      }
+    }
+  }
+  if (n_shards == 1) min_lookahead_ = 1;
+  assert(min_lookahead_ >= 1 && "zero lookahead cannot make progress");
 
-  const int n_threads;
-  std::atomic<std::uint32_t> arrived{0};
-  std::atomic<std::uint32_t> gen{0};
-  std::atomic<std::uint64_t> events{0};
-  // Written only by barrier epilogues, read by all workers between
-  // barriers — synchronized via the generation counter.
-  Ps win_end = 0;
-  std::uint64_t windows = 0;
-  bool done = false;
-};
-
-ParallelEngine::ParallelEngine(int n_shards, Ps lookahead)
-    : lookahead_(lookahead) {
-  assert(n_shards >= 1);
-  assert(lookahead >= 1 && "zero lookahead cannot make progress");
-  shards_.reserve(n_shards);
+  shards_.reserve(k);
   for (int i = 0; i < n_shards; ++i) {
     shards_.push_back(std::make_unique<Engine>());
   }
-  drains_.resize(n_shards);
+  drains_.resize(k);
+  emission_bounds_.resize(k);
+  inbox_empty_.resize(k);
+
+  // One cache line holds 8 Ps atomics; pad rows so each shard's row (its
+  // only cross-thread write target) never shares a line with another's.
+  pub_stride_ = (k + 7) & ~std::size_t{7};
+  pub_ = std::make_unique<std::atomic<Ps>[]>(k * pub_stride_);
+  covered_ = std::make_unique<std::atomic<std::uint64_t>[]>(k * pub_stride_);
+  for (std::size_t i = 0; i < k * pub_stride_; ++i) {
+    pub_[i].store(0, std::memory_order_relaxed);
+    covered_[i].store(0, std::memory_order_relaxed);
+  }
+  scratch_.assign(k, std::vector<Ps>(k, 0));
+  reaction_gap_.assign(k, 0);
+  out_.assign(k * k, PairOut{});
+  staged_.assign(k * k, 0);
+  live_cap_.resize(k);
 }
 
-ParallelEngine::~ParallelEngine() = default;
+ParallelEngine::~ParallelEngine() { stop_pool(); }
 
 void ParallelEngine::set_drain(int shard, std::function<void()> fn) {
   drains_[shard] = std::move(fn);
 }
 
-void ParallelEngine::worker(int w, int n_threads, Shared& sh) {
+void ParallelEngine::set_emission_bound(int shard,
+                                        std::function<void(Ps, Ps*)> fn) {
+  emission_bounds_[shard] = std::move(fn);
+}
+
+void ParallelEngine::set_inbox_empty(int shard, std::function<bool()> fn) {
+  inbox_empty_[shard] = std::move(fn);
+}
+
+void ParallelEngine::note_emission(int src, int dst, Ps head) {
+  PairOut& o = out_[static_cast<std::size_t>(src) * n_shards() + dst];
+  ++o.pushed;
+  if (!o.open) {
+    o.open = true;
+    o.min_head = head;
+  } else if (head < o.min_head) {
+    o.min_head = head;
+  }
+  o.max_idx = o.pushed;
+  // Shorten the quantum in progress: the destination may drain this
+  // message and reply, and the reply must not land below our clock. The
+  // reply is itself a reaction, so the destination's reaction gap applies.
+  const Ps echo =
+      sat_add(sat_add(head, reaction_gap_[dst]), lookahead(dst, src));
+  if (echo < live_cap_[src].v) live_cap_[src].v = echo;
+}
+
+void ParallelEngine::note_drained(int dst, int src, std::uint64_t n) {
+  staged_[static_cast<std::size_t>(dst) * n_shards() + src] += n;
+}
+
+// Recompute and publish shard s's horizon row from its post-quantum state.
+// Stores are skipped when the value is unchanged (the common idle case);
+// a *lower* value than before is stored too — a drain may have scheduled
+// an arrival below the previous next-event time, and the promise must
+// track it (the soundness induction covers readers holding the older,
+// higher value through the emitting peer's own promise).
+void ParallelEngine::publish(int s, int w, bool* changed) {
   const int k = n_shards();
-  std::uint64_t local_events = 0;
-  for (;;) {
-    // Drain phase: rings hold exactly what peers published before the last
-    // barrier; no one is running, so nothing new appears mid-drain.
-    for (int s = w; s < k; s += n_threads) {
-      if (drains_[s]) drains_[s]();
+  Ps* out = scratch_[w].data();
+  const Ps e = shards_[s]->next_event_time();
+  if (emission_bounds_[s]) {
+    emission_bounds_[s](e, out);
+  } else {
+    const Ps* row = &lookahead_[static_cast<std::size_t>(s) * k];
+    for (int d = 0; d < k; ++d) out[d] = sat_add(e, row[d]);
+  }
+  // Fold open in-flight buckets as relay terms: a message already emitted
+  // to B can wake an otherwise-idle B into emitting toward d no earlier
+  // than the message's head + B's reaction gap + L[B][d] (any causal chain
+  // through further shards only adds more gap, and the closed L already
+  // bounds the pure propagation). The direct destination B itself is
+  // excluded — the drain-before-run / commit-before-republish protocol
+  // already covers direct arrivals, and the zero diagonal term would pin
+  // B's bound at its own arrival time and wedge it.
+  const PairOut* buckets = &out_[static_cast<std::size_t>(s) * k];
+  for (int b = 0; b < k; ++b) {
+    if (b == s || !buckets[b].open) continue;
+    const Ps* row_b = &lookahead_[static_cast<std::size_t>(b) * k];
+    const Ps rh = sat_add(buckets[b].min_head, reaction_gap_[b]);
+    for (int d = 0; d < k; ++d) {
+      if (d == s || d == b) continue;
+      const Ps v = sat_add(rh, row_b[d]);
+      if (v < out[d]) out[d] = v;
     }
-    sh.arrive_and_wait([&] {
-      // All drains complete: every pending interaction is now an engine
-      // event, so the next window starts at the global minimum event time
-      // (skipping idle gaps) and quiescence is simply "all shards idle".
-      Ps m = kNever;
-      for (const auto& e : shards_) {
-        const Ps t = e->next_event_time();
-        if (t < m) m = t;
+  }
+  for (int d = 0; d < k; ++d) {
+    if (d == s) continue;
+    std::atomic<Ps>& cell = pub(s, d);
+    if (cell.load(std::memory_order_relaxed) != out[d]) {
+      cell.store(out[d], std::memory_order_release);
+      *changed = true;
+    }
+  }
+}
+
+// One advance quantum for shard s. The order is load-bearing: peers'
+// horizons are loaded (acquire) *before* the drain, and producers commit
+// ring slots *before* republishing (release), so any message invisible to
+// this drain was emitted by an event at or after the next-event time its
+// producer's visible promise was derived from — i.e. its head is >= the
+// bound we run to.
+bool ParallelEngine::advance(int s, int w, std::uint64_t& events,
+                             std::uint64_t& quanta) {
+  const int k = n_shards();
+  // (1) Retire in-flight buckets whose destination has published a
+  // covering horizon since their newest message. The acquire pairs with
+  // the destination's post-publish release store of the covered counter,
+  // so the horizon rows read below reflect at least that covering publish.
+  PairOut* buckets = &out_[static_cast<std::size_t>(s) * k];
+  for (int b = 0; b < k; ++b) {
+    if (b == s || !buckets[b].open) continue;
+    if (covered(b, s).load(std::memory_order_acquire) >= buckets[b].max_idx) {
+      buckets[b].open = false;
+    }
+  }
+  // (2) Conservative bound: the min over every peer's promise, read
+  // *twice*. Two passes close the retirement race: if peer X dropped the
+  // relay term covering an in-flight message X -> Y before our first read
+  // of X's row, then Y's covering row store happened-before X's republish
+  // and hence before our first pass — so our second pass over Y's row
+  // observes it. One of the two values read is always a cover. With one
+  // worker there is no concurrent retirement to race with and a single
+  // pass suffices.
+  Ps bound = kNever;
+  const int read_passes = run_threads_ == 1 ? 1 : 2;
+  for (int pass = 0; pass < read_passes; ++pass) {
+    for (int a = 0; a < k; ++a) {
+      if (a == s) continue;
+      const Ps p = pub(a, s).load(std::memory_order_acquire);
+      if (p < bound) bound = p;
+    }
+  }
+  // ...capped by our own self-echo terms: a peer we already messaged can
+  // wake and reply, and no published row promises us anything about
+  // ourselves.
+  for (int b = 0; b < k; ++b) {
+    if (b != s && buckets[b].open) {
+      const Ps echo = sat_add(sat_add(buckets[b].min_head, reaction_gap_[b]),
+                              lookahead(b, s));
+      if (echo < bound) bound = echo;
+    }
+  }
+  if (drains_[s]) drains_[s]();
+
+  Engine& eng = *shards_[s];
+  std::uint64_t n = 0;
+  const Ps e = eng.next_event_time();
+  if (e < bound) {
+    Ps cap = bound;
+    if (!batching_) {
+      const Ps chop = sat_add(e, min_lookahead_);
+      if (chop < cap) cap = chop;
+    }
+    // The live cap drops mid-quantum when this shard emits
+    // (note_emission): events past an emission's echo bound must wait for
+    // the next quantum, after the destination has had a chance to react.
+    live_cap_[s].v = cap;
+    n = eng.run_below(&live_cap_[s].v);
+    events += n;
+    if (n > 0) ++quanta;
+  }
+
+  bool changed = false;
+  publish(s, w, &changed);
+  // (3) Republish drained counts strictly after the covering row stores,
+  // retiring the emitters' buckets. Counts as a change: a parked emitter
+  // may be blocked on exactly this retirement.
+  const std::uint64_t* st = &staged_[static_cast<std::size_t>(s) * k];
+  for (int a = 0; a < k; ++a) {
+    if (a == s) continue;
+    std::atomic<std::uint64_t>& c = covered(s, a);
+    if (c.load(std::memory_order_relaxed) != st[a]) {
+      c.store(st[a], std::memory_order_release);
+      changed = true;
+    }
+  }
+  if (changed && idle_approx_.load(std::memory_order_relaxed) > 0) {
+    idle_cv_.notify_all();
+  }
+  return n > 0;
+}
+
+// All-idle exclusive sweep: callable only with idle_count_ == run_threads_
+// under idle_mu_ — every other worker has released the mutex inside
+// wait_for and touches no engine until it reacquires it, so plain reads of
+// foreign engine state are race-free (and TSan-visibly so, through the
+// mutex).
+bool ParallelEngine::quiescent() const {
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (!shards_[s]->idle()) return false;
+    if (inbox_empty_[s] && !inbox_empty_[s]()) return false;
+  }
+  return true;
+}
+
+void ParallelEngine::worker_body(int w) {
+  const int k = n_shards();
+  const int n_threads = run_threads_;
+  std::uint64_t events = 0;
+  std::uint64_t quanta = 0;
+  std::uint64_t parks = 0;
+  int passes = 0;
+  while (!done_flag_.load(std::memory_order_acquire)) {
+    bool progress = false;
+    for (int s = w; s < k; s += n_threads) {
+      progress |= advance(s, w, events, quanta);
+    }
+    if (progress) {
+      passes = 0;
+      continue;
+    }
+    ++passes;
+    if (passes <= kSpinPasses) continue;
+    if (passes <= kYieldPasses) {
+      std::this_thread::yield();
+      continue;
+    }
+    passes = 0;
+    ++parks;
+    std::unique_lock<std::mutex> lk(idle_mu_);
+    if (done_flag_.load(std::memory_order_acquire)) break;
+    idle_approx_.fetch_add(1, std::memory_order_relaxed);
+    ++idle_count_;
+    if (idle_count_ == n_threads) {
+      if (quiescent()) {
+        done_flag_.store(true, std::memory_order_release);
       }
-      if (m == kNever) {
-        sh.done = true;
-      } else {
-        sh.win_end = m + lookahead_;
-        ++sh.windows;
+      // Either way wake everyone: on done to exit, otherwise to retry —
+      // a failed sweep means some shard can progress (the global-minimum
+      // event is always below its owner's bound) or a ring still holds
+      // messages for someone's next drain.
+      idle_cv_.notify_all();
+    } else {
+      idle_cv_.wait_for(lk, kParkTimeout);
+    }
+    --idle_count_;
+    idle_approx_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  tot_events_.fetch_add(events, std::memory_order_relaxed);
+  tot_quanta_.fetch_add(quanta, std::memory_order_relaxed);
+  tot_parks_.fetch_add(parks, std::memory_order_relaxed);
+}
+
+void ParallelEngine::ensure_pool(int n_extra) {
+  if (static_cast<int>(pool_.size()) == n_extra) return;
+  stop_pool();
+  pool_stop_ = false;
+  pool_.reserve(static_cast<std::size_t>(n_extra));
+  const std::uint64_t seen0 = pool_gen_;
+  for (int i = 0; i < n_extra; ++i) {
+    pool_.emplace_back([this, w = i + 1, seen0] {
+      std::uint64_t seen = seen0;
+      for (;;) {
+        {
+          std::unique_lock<std::mutex> lk(pool_mu_);
+          pool_cv_work_.wait(
+              lk, [&] { return pool_stop_ || pool_gen_ != seen; });
+          if (pool_stop_) return;
+          seen = pool_gen_;
+        }
+        worker_body(w);
+        {
+          std::lock_guard<std::mutex> lk(pool_mu_);
+          if (--pool_running_ == 0) pool_cv_done_.notify_all();
+        }
       }
     });
-    if (sh.done) break;
-    const Ps until = sh.win_end - 1;
-    for (int s = w; s < k; s += n_threads) {
-      local_events += shards_[s]->run(until);
-    }
-    // Publish this window's cross-shard messages before anyone drains.
-    sh.arrive_and_wait([] {});
   }
-  sh.events.fetch_add(local_events, std::memory_order_relaxed);
+}
+
+void ParallelEngine::stop_pool() {
+  if (pool_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    pool_stop_ = true;
+  }
+  pool_cv_work_.notify_all();
+  for (auto& t : pool_) t.join();
+  pool_.clear();
 }
 
 ParallelEngine::RunResult ParallelEngine::run(int n_threads) {
   const int k = n_shards();
   if (n_threads < 1) n_threads = 1;
   if (n_threads > k) n_threads = k;
-  Shared sh(n_threads);
-  if (n_threads == 1) {
-    worker(0, 1, sh);
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(n_threads - 1);
-    for (int w = 1; w < n_threads; ++w) {
-      pool.emplace_back([this, w, n_threads, &sh] { worker(w, n_threads, sh); });
-    }
-    worker(0, n_threads, sh);
-    for (auto& t : pool) t.join();
+  run_threads_ = n_threads;
+  tot_events_.store(0, std::memory_order_relaxed);
+  tot_quanta_.store(0, std::memory_order_relaxed);
+  tot_parks_.store(0, std::memory_order_relaxed);
+  done_flag_.store(false, std::memory_order_relaxed);
+  idle_approx_.store(0, std::memory_order_relaxed);
+  idle_count_ = 0;
+
+  // Serial prologue: fold anything already in the inbound rings into engine
+  // events (rings are empty after a completed run, but callers may stage
+  // work between runs), flush the drained counts and retire every coverable
+  // in-flight bucket (safe before the publishes below: nothing runs an
+  // event until the workers start, which orders the whole prologue), then
+  // publish every shard's initial horizon so no worker ever reads the
+  // zero-initialized matrix.
+  for (int s = 0; s < k; ++s) {
+    if (drains_[s]) drains_[s]();
   }
+  for (int d = 0; d < k; ++d) {
+    for (int a = 0; a < k; ++a) {
+      if (a == d) continue;
+      const std::uint64_t st = staged_[static_cast<std::size_t>(d) * k + a];
+      covered(d, a).store(st, std::memory_order_relaxed);
+      PairOut& o = out_[static_cast<std::size_t>(a) * k + d];
+      if (o.open && st >= o.max_idx) o.open = false;
+    }
+  }
+  bool changed = false;
+  for (int s = 0; s < k; ++s) publish(s, 0, &changed);
+
+  if (!quiescent()) {
+    if (n_threads == 1) {
+      worker_body(0);
+    } else {
+      ensure_pool(n_threads - 1);
+      {
+        std::lock_guard<std::mutex> lk(pool_mu_);
+        pool_running_ = n_threads - 1;
+        ++pool_gen_;
+      }
+      pool_cv_work_.notify_all();
+      worker_body(0);
+      std::unique_lock<std::mutex> lk(pool_mu_);
+      pool_cv_done_.wait(lk, [&] { return pool_running_ == 0; });
+    }
+  }
+
   RunResult r;
-  r.events = sh.events.load(std::memory_order_relaxed);
-  r.windows = sh.windows;
+  r.events = tot_events_.load(std::memory_order_relaxed);
+  r.windows = tot_quanta_.load(std::memory_order_relaxed);
+  r.barrier_crossings = tot_parks_.load(std::memory_order_relaxed);
   for (const auto& e : shards_) r.pending_roots += e->pending_roots();
   return r;
 }

@@ -58,6 +58,14 @@ class RingQueue {
     return (*const_cast<RingQueue*>(this))[i];
   }
 
+  /// Grow the backing store so at least `n` elements fit without a further
+  /// allocation. Lets owners with a known structural bound (e.g. a credit
+  /// limit) reach the high-water mark at construction instead of during
+  /// the first deep burst.
+  void reserve(std::size_t n) {
+    while (cap_ < n) grow();
+  }
+
   void push_back(T v) {
     if (size_ == cap_) grow();
     ::new (static_cast<void*>(&slot_raw((head_ + size_) & (cap_ - 1))))

@@ -4,9 +4,10 @@
 //
 // The design deliberately avoids any ordering burden: cross-shard events
 // carry explicit tie-break keys (Engine::schedule_cross), so the consumer
-// only needs "everything the producer published is visible by the next
-// barrier" — plain acquire/release on two cache-line-separated indices.
-// Slots are preallocated at construction; push/pop never allocate.
+// only needs "everything the producer published before its last horizon
+// publish is visible to the next drain" — plain acquire/release on two
+// cache-line-separated indices. Slots are preallocated at construction;
+// push/pop never allocate.
 #pragma once
 
 #include <atomic>
@@ -56,7 +57,11 @@ class SpscSlotRing {
                 std::memory_order_release);
   }
 
-  /// Consumer-side emptiness (exact at a barrier, conservative elsewhere).
+  /// Emptiness probe. Exact when both endpoints are quiescent (the
+  /// termination sweep runs it from a foreign thread, but only while every
+  /// worker is parked under the idle mutex, which orders their last
+  /// push/pop before the probe); conservative — may report non-empty for
+  /// an instant after a pop — anywhere else.
   bool empty() const noexcept { return front() == nullptr; }
 
  private:

@@ -69,13 +69,23 @@ TEST(BufferPool, OutstandingHighWaterTracksPeak) {
 }
 
 TEST(BufferPool, RetentionCapDropsBurstExcess) {
+  // Retention is byte-budgeted per class (kRetainBytesPerClass, floored at
+  // kRetainPerClass buffers): a small-class burst parks entirely, while a
+  // large-class burst is trimmed so it can't pin memory forever.
   BufferPool pool;
   std::vector<Bytes> held;
   for (int i = 0; i < 80; ++i) held.push_back(pool.acquire(512));
   for (auto& b : held) pool.release(std::move(b));
-  // Only kRetainPerClass (64) buffers are parked; the rest went back to
-  // the allocator so a burst can't pin memory forever.
-  EXPECT_EQ(pool.stats().free_buffers, 64u);
+  // 80 x 512 B = 40 KiB, far under the 4 MiB class budget: all parked.
+  EXPECT_EQ(pool.stats().free_buffers, 80u);
+
+  BufferPool big;
+  std::vector<Bytes> burst;
+  // 64 KiB class: 4 MiB / 64 KiB = 64 buffers is exactly the floor, so
+  // releasing 72 must drop the 8 beyond the cap back to the allocator.
+  for (int i = 0; i < 72; ++i) burst.push_back(big.acquire(64u << 10));
+  for (auto& b : burst) big.release(std::move(b));
+  EXPECT_EQ(big.stats().free_buffers, 64u);
 }
 
 TEST(BufferPool, OversizeRequestsBypassRetention) {

@@ -1,0 +1,85 @@
+// Steady-state allocation freedom for the sharded parallel engine at real
+// concurrency, enforced with the benchmark operator-new hook (linked into
+// this binary only, like test_trace — the hook is a global replacement and
+// must not leak into other test executables).
+//
+// After one warmup wave (per-shard buffer/frame pools carved, SPSC rings
+// preallocated, the persistent worker pool spawned), a second full
+// all-to-all wave at 4 threads must perform zero heap allocations: no
+// per-event, per-packet, per-quantum, or per-park allocation anywhere in
+// the engine, transport, or synchronization path.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bench/common/alloc_hook.hpp"
+#include "fm2/fm2.hpp"
+#include "myrinet/parallel_cluster.hpp"
+#include "myrinet/params.hpp"
+
+namespace fmx {
+namespace {
+
+constexpr int kNodes = 4;
+constexpr int kMsgsPerPeer = 30;
+constexpr std::size_t kMsgSize = 1024;
+
+void wave(net::ParallelCluster& cl,
+          std::vector<std::unique_ptr<fm2::Endpoint>>& eps,
+          std::vector<int>& got, const Bytes& payload, int threads) {
+  std::fill(got.begin(), got.end(), 0);
+  for (int i = 0; i < kNodes; ++i) {
+    cl.spawn_on(i, [](fm2::Endpoint& ep, ByteSpan msg, int self,
+                      int n) -> sim::Task<void> {
+      for (int m = 0; m < n; ++m) {
+        for (int j = 0; j < kNodes; ++j) {
+          if (j != self) co_await ep.send(j, 0, msg);
+        }
+      }
+    }(*eps[i], ByteSpan{payload}, i, kMsgsPerPeer));
+    cl.spawn_on(i, [](fm2::Endpoint& ep, int& g, int want) -> sim::Task<void> {
+      co_await ep.poll_until([&g, want] { return g == want; });
+    }(*eps[i], got[i], kMsgsPerPeer * (kNodes - 1)));
+  }
+  const auto r = cl.run(threads);
+  ASSERT_EQ(r.pending_roots, 0);
+}
+
+TEST(ParallelAlloc, SteadyStateAllocationFreeAt4Threads) {
+  auto params = net::ppro_fm2_cluster(kNodes);
+  net::ParallelCluster cl(params);
+  ASSERT_EQ(cl.n_shards(), kNodes);
+  std::vector<std::unique_ptr<fm2::Endpoint>> eps;
+  for (int i = 0; i < kNodes; ++i) {
+    eps.push_back(
+        std::make_unique<fm2::Endpoint>(cl.node(i), cl.fabric_of(i)));
+  }
+  std::vector<int> got(kNodes, 0);
+  std::vector<Bytes> sink(kNodes, Bytes(kMsgSize));
+  for (int i = 0; i < kNodes; ++i) {
+    eps[i]->register_handler(
+        0, [&sink, &got, i](fm2::RecvStream& s, int) -> fm2::HandlerTask {
+          const std::size_t n = s.msg_bytes();
+          if (n > 0) co_await s.receive(sink[i].data(), n);
+          ++got[i];
+        });
+  }
+  const Bytes payload = pattern_bytes(11, kMsgSize);
+
+  // Warm every pool and spawn the persistent worker threads.
+  wave(cl, eps, got, payload, /*threads=*/4);
+
+  bench::alloc_hook_reset();
+  wave(cl, eps, got, payload, /*threads=*/4);
+  EXPECT_EQ(bench::alloc_hook_count(), 0u)
+      << "sharded steady state allocated: a per-event/per-quantum/per-park "
+         "allocation crept back into the parallel hot path";
+  for (int i = 0; i < kNodes; ++i) {
+    EXPECT_EQ(got[i], kMsgsPerPeer * (kNodes - 1));
+  }
+}
+
+}  // namespace
+}  // namespace fmx
