@@ -10,14 +10,29 @@
 #include <cstdlib>
 #include <new>
 
+#include <execinfo.h>
+#include <unistd.h>
+
 namespace {
 
 std::atomic<std::uint64_t> g_count{0};
 std::atomic<std::uint64_t> g_bytes{0};
+std::atomic<bool> g_trap{false};
+std::atomic<int> g_trap_left{0};
+
+void maybe_trap() {
+  if (!g_trap.load(std::memory_order_relaxed)) return;
+  if (g_trap_left.fetch_sub(1, std::memory_order_relaxed) <= 0) return;
+  void* frames[24];
+  int n = ::backtrace(frames, 24);
+  ::write(2, "--- alloc ---\n", 14);
+  ::backtrace_symbols_fd(frames, n, 2);
+}
 
 void* counted_alloc(std::size_t n) {
   g_count.fetch_add(1, std::memory_order_relaxed);
   g_bytes.fetch_add(n, std::memory_order_relaxed);
+  maybe_trap();
   // operator new must never return nullptr for a zero-size request.
   void* p = std::malloc(n ? n : 1);
   if (!p) throw std::bad_alloc{};
@@ -27,6 +42,7 @@ void* counted_alloc(std::size_t n) {
 void* counted_alloc_aligned(std::size_t n, std::size_t align) {
   g_count.fetch_add(1, std::memory_order_relaxed);
   g_bytes.fetch_add(n, std::memory_order_relaxed);
+  maybe_trap();
   // aligned_alloc requires the size to be a multiple of the alignment.
   std::size_t rounded = (n + align - 1) / align * align;
   void* p = std::aligned_alloc(align, rounded ? rounded : align);
@@ -49,6 +65,16 @@ std::uint64_t alloc_hook_bytes() {
 void alloc_hook_reset() {
   g_count.store(0, std::memory_order_relaxed);
   g_bytes.store(0, std::memory_order_relaxed);
+  if (std::getenv("FMX_ALLOC_TRAP")) {
+    // Prime libgcc's unwinder outside the counted region (its first call
+    // allocates), then print a backtrace for every subsequent allocation.
+    g_trap.store(false, std::memory_order_relaxed);
+    void* frames[4];
+    ::backtrace(frames, 4);
+    g_trap_left.store(16, std::memory_order_relaxed);
+    g_trap.store(true, std::memory_order_relaxed);
+    ::write(2, "=== reset ===\n", 14);
+  }
 }
 
 }  // namespace fmx::bench

@@ -19,7 +19,10 @@ std::uint64_t alloc_hook_count();
 /// Total bytes requested from operator new since process start (or reset).
 std::uint64_t alloc_hook_bytes();
 
-/// Zero both counters.
+/// Zero both counters. If the environment variable FMX_ALLOC_TRAP is set,
+/// also arm a debugging trap: the next few allocations (16) each print a
+/// backtrace to stderr, attributing any steady-state alloc the counters
+/// catch. Costs one relaxed atomic load per allocation when unset.
 void alloc_hook_reset();
 
 }  // namespace fmx::bench

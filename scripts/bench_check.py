@@ -27,6 +27,20 @@ checks the sharded engine against BENCH_parallel.json:
     check is reported and skipped (a worker pool cannot speed up a
     1-core box, and failing there would only test the container size).
 
+Rendezvous gate (--rendezvous-binary): runs `rendezvous_crossover` and
+checks the eager vs rendezvous/RDMA protocol sweep. Everything in that
+bench is *simulated* time, so unlike the wall-clock gates the comparisons
+are exact:
+  - zero-copy proof: the RDMA streaming run must report 0 per-hop
+    simulator copies, every payload byte placed exactly once by the
+    modeled DMA engine, and endpoint (host CPU) copies below one
+    payload's worth (control traffic only),
+  - crossover monotonicity: the eager/rdma latency advantage must flip
+    exactly once across the size sweep (a clean protocol crossover),
+  - the crossover size must equal the committed baseline exactly —
+    simulated time is machine-independent, so any drift is a real
+    protocol-cost change that needs a deliberate baseline update.
+
 Wall-clock numbers are machine-dependent, so the absolute gates are
 deliberately loose: they catch "someone reintroduced a per-event
 allocation or an accidental O(n) queue", not single-digit-percent noise.
@@ -37,6 +51,8 @@ Usage:
   scripts/bench_check.py --parallel-binary build/bench/parallel_scaling \
       [--parallel-baseline BENCH_parallel.json] [--min-speedup 1.5] \
       [--max-shard-tax 5.0]
+  scripts/bench_check.py --rendezvous-binary build/bench/rendezvous_crossover \
+      [--rendezvous-baseline BENCH_rendezvous.json]
 
 Exit status: 0 ok, 1 regression, 2 usage/environment error.
 """
@@ -169,13 +185,22 @@ def check_parallel(args) -> bool:
 
     # Ring neighbor-exchange sweep (absent from older binaries — skip
     # then). Digest identity is already folded into top-level digest_ok;
-    # report the sparse-workload figures for the record.
+    # the alloc gate applies here too: the sparse workload is where the
+    # cross-thread frame drain used to surface a stray slab carve.
     ring = cur.get("ring")
     if ring:
         for row in ring.get("threads", []):
+            allocs = row.get("allocs_per_event", 0.0)
             print(f"bench_check: ring {row['threads']}t "
                   f"{row['events_per_sec']:,.0f} events/sec, "
+                  f"allocs/event {allocs:.6f}, "
                   f"{row['events_per_window']:,.0f} events/window")
+            if allocs > args.parallel_max_allocs:
+                print(f"bench_check: REGRESSION: steady-state allocations "
+                      f"in the ring workload at {row['threads']} threads "
+                      f"(must be exactly {args.parallel_max_allocs:g})",
+                      file=sys.stderr)
+                ok = False
 
     # Serial-mode regression: same run, same machine, so the tolerance can
     # be tight. shard_tax is (serial - parallel@1t)/serial; negative means
@@ -217,6 +242,54 @@ def check_parallel(args) -> bool:
     return ok
 
 
+def check_rendezvous(args) -> bool:
+    with open(args.rendezvous_baseline) as f:
+        base = json.load(f)
+    out_json = os.path.join(tempfile.mkdtemp(prefix="bench_check_rdzv_"),
+                            "rendezvous.json")
+    cur = _run_to_json([args.rendezvous_binary, out_json])
+
+    ok = True
+    zc = cur["zero_copy"]
+    print(f"bench_check: rendezvous zero-copy: {zc['hop_copies']} hop "
+          f"copies, {zc['rdma_bytes']}/{zc['payload_bytes']} rdma bytes "
+          f"placed, {zc['endpoint_bytes']} endpoint bytes (control)")
+    if zc["hop_copies"] != 0:
+        print("bench_check: REGRESSION: the rendezvous/RDMA path performs "
+              "per-hop simulator copies (COW clone or cross-shard copy on "
+              "the remote-write data plane)", file=sys.stderr)
+        ok = False
+    if zc["rdma_bytes"] != zc["payload_bytes"]:
+        print("bench_check: REGRESSION: RDMA placement bytes != payload "
+              "bytes — chunks are being dropped, duplicated, or staged "
+              "through the endpoint path", file=sys.stderr)
+        ok = False
+    if zc["endpoint_bytes"] >= max(s["bytes"] for s in cur["sizes"]):
+        print("bench_check: REGRESSION: rendezvous endpoint (host CPU) "
+              "copies exceed control-traffic volume — a payload is being "
+              "staged through host memory again", file=sys.stderr)
+        ok = False
+
+    flips = cur.get("advantage_flips")
+    crossover = cur.get("crossover_bytes")
+    print(f"bench_check: rendezvous crossover {crossover} bytes, "
+          f"{flips} advantage flip(s) (baseline "
+          f"{base.get('crossover_bytes')})")
+    if flips != 1:
+        print("bench_check: REGRESSION: eager/rdma latency advantage "
+              f"flipped {flips} times across the sweep — the protocol "
+              "crossover is no longer monotone", file=sys.stderr)
+        ok = False
+    # Simulated time: exact compare, not a tolerance band.
+    if crossover != base.get("crossover_bytes"):
+        print("bench_check: REGRESSION: crossover size moved from "
+              f"{base.get('crossover_bytes')} to {crossover} bytes — "
+              "protocol costs changed; update BENCH_rendezvous.json "
+              "deliberately if intended", file=sys.stderr)
+        ok = False
+    return ok
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--binary",
@@ -228,6 +301,11 @@ def main() -> int:
                     help="path to the parallel_scaling executable")
     ap.add_argument("--parallel-baseline", default="BENCH_parallel.json",
                     help="committed parallel baseline JSON "
+                         "(default: %(default)s)")
+    ap.add_argument("--rendezvous-binary",
+                    help="path to the rendezvous_crossover executable")
+    ap.add_argument("--rendezvous-baseline", default="BENCH_rendezvous.json",
+                    help="committed rendezvous baseline JSON "
                          "(default: %(default)s)")
     ap.add_argument("--factor", type=float, default=2.0,
                     help="max tolerated slowdown vs baseline "
@@ -257,9 +335,10 @@ def main() -> int:
                          "(default: %(default)s)")
     args = ap.parse_args()
 
-    if not args.binary and not args.parallel_binary:
-        print("bench_check: need --binary and/or --parallel-binary",
-              file=sys.stderr)
+    if not args.binary and not args.parallel_binary \
+            and not args.rendezvous_binary:
+        print("bench_check: need --binary, --parallel-binary and/or "
+              "--rendezvous-binary", file=sys.stderr)
         return 2
 
     ok = True
@@ -277,6 +356,13 @@ def main() -> int:
                       file=sys.stderr)
                 return 2
             ok = check_parallel(args) and ok
+        if args.rendezvous_binary:
+            if not os.path.exists(args.rendezvous_baseline):
+                print(f"bench_check: baseline "
+                      f"{args.rendezvous_baseline!r} not found",
+                      file=sys.stderr)
+                return 2
+            ok = check_rendezvous(args) and ok
     except (OSError, subprocess.CalledProcessError, json.JSONDecodeError,
             KeyError) as e:
         print(f"bench_check: failed: {e}", file=sys.stderr)

@@ -34,7 +34,9 @@ void BufferRef::release_block(detail::BlockHeader* h) noexcept {
 }
 
 // Clone the visible view into a fresh block and retarget this reference.
-// Precondition: h_->refs > 1 (the shared block stays alive for siblings).
+// Called when the block is shared (refs > 1) or external: a sole borrowed
+// reference still clones, because the caller's pinned bytes are read-only
+// through borrowed views.
 void BufferRef::cow_clone() {
   detail::BlockHeader* nh = h_->pool != nullptr
                                 ? h_->pool->take_block(len_, nullptr)
@@ -42,7 +44,7 @@ void BufferRef::cow_clone() {
   nh->size = len_;
   std::memcpy(nh->data(), h_->data() + off_, len_);
   count_hop_copy(len_);
-  --h_->refs;
+  if (--h_->refs == 0) release_block(h_);
   h_ = nh;
   off_ = 0;
 }
@@ -50,6 +52,15 @@ void BufferRef::cow_clone() {
 BufferRef BufferRef::copy_of(ByteSpan src) {
   detail::BlockHeader* h = detail::alloc_block(src.size());
   if (!src.empty()) std::memcpy(h->data(), src.data(), src.size());
+  return adopt(h);
+}
+
+BufferRef BufferRef::borrow(ByteSpan src) {
+  // Header-only allocation: the block's data() aliases the caller's bytes.
+  detail::BlockHeader* h = detail::alloc_block(0);
+  h->ext = const_cast<std::byte*>(src.data());
+  h->capacity = static_cast<std::uint32_t>(src.size());
+  h->size = static_cast<std::uint32_t>(src.size());
   return adopt(h);
 }
 

@@ -35,7 +35,10 @@ class BufferPool;
 
 namespace detail {
 
-/// Header living immediately before the data bytes of every block.
+/// Header living immediately before the data bytes of every block — except
+/// for *external* blocks (BufferRef::borrow), whose header stands alone and
+/// points at caller-owned memory (a pinned/registered user buffer on the
+/// RDMA path). External blocks are never pool-backed.
 struct BlockHeader {
   std::uint32_t refs = 0;
   std::uint32_t capacity = 0;   ///< data bytes that follow this header
@@ -44,10 +47,14 @@ struct BlockHeader {
   std::uint32_t crc_len = 0;
   bool crc_valid = false;
   BufferPool* pool = nullptr;   ///< owner; nullptr = free-standing block
+  std::byte* ext = nullptr;     ///< external data; nullptr = bytes follow
 
-  std::byte* data() noexcept { return reinterpret_cast<std::byte*>(this + 1); }
+  std::byte* data() noexcept {
+    return ext != nullptr ? ext : reinterpret_cast<std::byte*>(this + 1);
+  }
   const std::byte* data() const noexcept {
-    return reinterpret_cast<const std::byte*>(this + 1);
+    return ext != nullptr ? ext
+                          : reinterpret_cast<const std::byte*>(this + 1);
   }
 };
 
@@ -118,11 +125,12 @@ class BufferRef {
   }
 
   /// Writable bytes of this view. Clones the visible range iff the block
-  /// is shared, so siblings never observe the write; always invalidates
-  /// the block's CRC memo.
+  /// is shared — or external, whose caller-owned bytes are read-only
+  /// through borrowed views — so siblings never observe the write; always
+  /// invalidates the block's CRC memo.
   MutByteSpan mutable_bytes() {
     if (h_ == nullptr) return {};
-    if (h_->refs > 1) cow_clone();
+    if (h_->refs > 1 || h_->ext != nullptr) cow_clone();
     h_->crc_valid = false;
     return {h_->data() + off_, len_};
   }
@@ -155,6 +163,15 @@ class BufferRef {
   /// Free-standing deep copy (not pool-backed); compatibility shim for
   /// call sites that still hand over Bytes.
   static BufferRef copy_of(ByteSpan src);
+
+  /// Borrow caller-owned memory with ZERO physical copy: the returned ref
+  /// (and every subslice of it) reads the caller's bytes in place. This is
+  /// the RDMA pin-down contract — the memory must stay valid and unmodified
+  /// until every reference is gone; use_count() lets the owner wait for
+  /// that (registration release). Writes through mutable_bytes() still COW
+  /// into a private internal block, so the caller's memory is never
+  /// modified through a borrowed view.
+  static BufferRef borrow(ByteSpan src);
 
   /// Wrap a producer-initialized block (refs already 1).
   static BufferRef adopt(detail::BlockHeader* h) noexcept {

@@ -14,6 +14,13 @@
 //    copy-on-write clones (fault corruption of a shared block) and the
 //    cross-shard SPSC boundary (one encode + one decode per crossing).
 //    Steady-state serial traffic must show zero of these.
+//  - rdma: placements performed by the modeled NIC DMA engine writing a
+//    remote-write payload directly into a registered (pinned) user buffer.
+//    The host CPU never touches these bytes — no memcpy charge, no
+//    endpoint count — but the simulator must still materialize them once,
+//    exactly where the hardware's DMA write lands. The rendezvous path's
+//    zero-copy proof is: endpoint bytes == control-message bytes only,
+//    hop copies == 0, rdma bytes == payload bytes (each byte placed once).
 //
 // Counters are relaxed atomics so per-shard threads can bump them without
 // synchronization; exact cross-thread ordering is irrelevant for totals.
@@ -32,6 +39,8 @@ class CopyStats {
     std::uint64_t endpoint_bytes = 0;
     std::uint64_t hop_copies = 0;
     std::uint64_t hop_bytes = 0;
+    std::uint64_t rdma_writes = 0;
+    std::uint64_t rdma_bytes = 0;
   };
 
   static CopyStats& instance() noexcept {
@@ -47,12 +56,18 @@ class CopyStats {
     hop_copies_.fetch_add(1, std::memory_order_relaxed);
     hop_bytes_.fetch_add(n, std::memory_order_relaxed);
   }
+  void count_rdma(std::size_t n) noexcept {
+    rdma_writes_.fetch_add(1, std::memory_order_relaxed);
+    rdma_bytes_.fetch_add(n, std::memory_order_relaxed);
+  }
 
   Snapshot snapshot() const noexcept {
     return {endpoint_copies_.load(std::memory_order_relaxed),
             endpoint_bytes_.load(std::memory_order_relaxed),
             hop_copies_.load(std::memory_order_relaxed),
-            hop_bytes_.load(std::memory_order_relaxed)};
+            hop_bytes_.load(std::memory_order_relaxed),
+            rdma_writes_.load(std::memory_order_relaxed),
+            rdma_bytes_.load(std::memory_order_relaxed)};
   }
 
   void reset() noexcept {
@@ -60,6 +75,8 @@ class CopyStats {
     endpoint_bytes_.store(0, std::memory_order_relaxed);
     hop_copies_.store(0, std::memory_order_relaxed);
     hop_bytes_.store(0, std::memory_order_relaxed);
+    rdma_writes_.store(0, std::memory_order_relaxed);
+    rdma_bytes_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -67,6 +84,8 @@ class CopyStats {
   std::atomic<std::uint64_t> endpoint_bytes_{0};
   std::atomic<std::uint64_t> hop_copies_{0};
   std::atomic<std::uint64_t> hop_bytes_{0};
+  std::atomic<std::uint64_t> rdma_writes_{0};
+  std::atomic<std::uint64_t> rdma_bytes_{0};
 };
 
 inline void count_endpoint_copy(std::size_t n) noexcept {
@@ -74,6 +93,9 @@ inline void count_endpoint_copy(std::size_t n) noexcept {
 }
 inline void count_hop_copy(std::size_t n) noexcept {
   CopyStats::instance().count_hop(n);
+}
+inline void count_rdma_write(std::size_t n) noexcept {
+  CopyStats::instance().count_rdma(n);
 }
 
 }  // namespace fmx

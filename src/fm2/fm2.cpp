@@ -506,6 +506,51 @@ sim::Task<int> Endpoint::extract(std::size_t budget) {
 }
 
 // ---------------------------------------------------------------------------
+// RDMA rendezvous extension
+
+Endpoint::RdmaBuffer Endpoint::post_rdma_buffer(
+    MutByteSpan dst, std::function<void()> on_complete) {
+  auto& host = node_.host();
+  // Register the simulated address (Host::sim_addr), not the raw pointer:
+  // pin costs are page-granular and must not depend on the test process's
+  // heap layout.
+  net::RegCache::Acquire a = host.reg_cache().acquire(
+      host.sim_addr(dst.data(), dst.size()), dst.size());
+  host.charge(Cost::kBufferMgmt, a.cost);
+  RdmaBuffer b;
+  b.mr = a.handle;
+  b.rkey = node_.nic().post_rdma_target(dst, std::move(on_complete));
+  return b;
+}
+
+sim::Task<Endpoint::RdmaOp> Endpoint::rdma_write(int dest, std::uint32_t rkey,
+                                                 ByteSpan src) {
+  assert(!src.empty());
+  auto& host = node_.host();
+  net::RegCache::Acquire a = host.reg_cache().acquire(
+      host.sim_addr(src.data(), src.size()), src.size());
+  host.charge(Cost::kBufferMgmt, a.cost);
+  host.charge(Cost::kCall, host.params().call_overhead);
+  RdmaOp op;
+  op.mr = a.handle;
+  // The zero-copy heart of the path: the wire packets' payloads are
+  // subslices of this borrowed ref, reading the caller's bytes in place.
+  op.ref = BufferRef::borrow(src);
+  co_await host.sync();
+  const std::size_t mtu = node_.nic().params().mtu_payload;
+  for (std::size_t off = 0; off < src.size(); off += mtu) {
+    const std::size_t n = std::min(mtu, src.size() - off);
+    net::SendDescriptor sd(dest, op.ref.subslice(off, n), /*fetch_dma=*/true);
+    sd.kind = net::PacketKind::kRdmaWrite;
+    sd.rkey = rkey;
+    sd.rdma_offset = static_cast<std::uint32_t>(off);
+    sd.trace_id = trace::Tracer::msg_id(id(), dest, trace::Layer::kNic, rkey);
+    co_await node_.nic().enqueue(std::move(sd));
+  }
+  co_return op;
+}
+
+// ---------------------------------------------------------------------------
 // Convenience
 
 sim::Task<void> Endpoint::send(int dest, HandlerId handler, ByteSpan data) {

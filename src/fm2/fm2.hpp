@@ -227,6 +227,38 @@ class Endpoint {
   /// Gather convenience: one message from several pieces.
   sim::Task<void> send_gather(int dest, HandlerId handler,
                               std::span<const ByteSpan> pieces);
+  // --- RDMA rendezvous extension -----------------------------------------
+  // Remote-memory writes bypass the FM2 staging path entirely: no packet
+  // header, no host ring, no credits. The NIC DMA-fetches chunks straight
+  // out of the caller's (pinned) buffer and the destination NIC places them
+  // straight into the registered receive buffer — zero host copies on both
+  // sides. The registration cache (Host::reg_cache) models pin-down cost.
+
+  struct RdmaBuffer {
+    std::uint32_t rkey = 0;  ///< advertise to the writer (e.g. in a CTS)
+    std::uint64_t mr = 0;    ///< pin-down handle; release_rdma() when done
+  };
+  /// Pin `dst` and post it to the NIC as a remote-write target.
+  /// `on_complete` runs on the NIC when every byte has been placed; wake
+  /// any poller yourself if the completion flips a polled condition.
+  RdmaBuffer post_rdma_buffer(MutByteSpan dst,
+                              std::function<void()> on_complete);
+
+  struct RdmaOp {
+    /// Borrowed view of the source buffer. Every in-flight chunk shares it;
+    /// use_count() == 1 means the NIC/fabric/retention no longer reference
+    /// the caller's memory (safe to reuse after release_rdma(mr)).
+    BufferRef ref;
+    std::uint64_t mr = 0;  ///< pin-down handle; release_rdma() when done
+  };
+  /// Remote-memory write of `src` into `dest`'s registered buffer `rkey`.
+  /// Returns once every chunk is enqueued to the NIC (send completion is
+  /// the DONE/ref-drain protocol of the layer above).
+  sim::Task<RdmaOp> rdma_write(int dest, std::uint32_t rkey, ByteSpan src);
+
+  /// Drop a pin-down reference taken by post_rdma_buffer / rdma_write.
+  void release_rdma(std::uint64_t mr) { node_.host().reg_cache().release(mr); }
+
   /// Poll extract() until `done` returns true.
   sim::Task<void> poll_until(const std::function<bool()>& done);
   /// Sleep until there is something to extract (unless data is already

@@ -23,6 +23,17 @@ constexpr std::uint16_t kEager = 0;
 constexpr std::uint16_t kRts = 1;
 constexpr std::uint16_t kCts = 2;
 constexpr std::uint16_t kRdzvData = 3;
+constexpr std::uint16_t kRdzvDone = 4;
+
+// MpiHeader.flags bits.
+/// RTS: sender can source the payload by RDMA. CTS: receiver granted it
+/// (the CTS `bytes` field then carries the rkey).
+constexpr std::uint16_t kFlagRdma = 0x1;
+
+/// Poll period while a sender waits for its borrowed payload references to
+/// drain after the DONE (normally zero iterations: the piggybacked ack on
+/// the DONE's reverse traffic has already cleared the NIC retention).
+constexpr sim::Ps kRdmaDrainPoll = sim::us(1);
 
 std::uint64_t rdzv_key(int src, std::uint64_t id) {
   return (static_cast<std::uint64_t>(src) << 48) ^ id;
@@ -70,14 +81,35 @@ sim::Task<void> MpiFm2::do_send(ByteSpan data, int dst, int tag) {
 
   if (data.size() > opt_.eager_threshold) {
     // Rendezvous: ship only the envelope, wait for the receiver to grant
-    // a buffer, then stream the payload straight into it.
+    // a buffer, then move the payload straight into it — by RDMA remote
+    // write when both sides negotiated it, else via the FM stream path.
     const std::uint64_t id = h.seq;
     rdzv_sends_[id];
     MpiHeader rts = h;
     rts.kind = kRts;
+    if (opt_.rdma && !data.empty()) rts.flags |= kFlagRdma;
     co_await fm_.send(dst, kMpiHandler, as_bytes_of(rts));
     co_await progress_until(
         [this, id] { return rdzv_sends_.at(id).cts; });
+    const bool use_rdma = rdzv_sends_.at(id).use_rdma;
+    const std::uint32_t rkey = rdzv_sends_.at(id).rkey;
+    if (use_rdma) {
+      fm2::Endpoint::RdmaOp op = co_await fm_.rdma_write(dst, rkey, data);
+      // The receiver's NIC reports completion out of band (DONE control
+      // message) once every chunk has been placed in the posted buffer.
+      co_await progress_until(
+          [this, id] { return rdzv_sends_.at(id).done; });
+      rdzv_sends_.erase(id);
+      // Pin-down contract: the user may modify `data` as soon as we
+      // return, so wait until no in-flight reference (NIC staging, wire,
+      // go-back-N retention) still aliases it. The DONE's piggybacked ack
+      // normally cleared the retention already, making this zero polls.
+      while (op.ref.use_count() > 1) {
+        co_await fm_.host().engine().delay(kRdmaDrainPoll);
+      }
+      fm_.release_rdma(op.mr);
+      co_return;
+    }
     rdzv_sends_.erase(id);
     MpiHeader dat = h;
     dat.kind = kRdzvData;
@@ -114,16 +146,58 @@ sim::Task<void> MpiFm2::do_send(ByteSpan data, int dst, int tag) {
   co_await fm_.end_message(s);
 }
 
-void MpiFm2::grant_rts(int src, std::uint64_t id, int tag,
-                       std::size_t bytes, std::byte* buf,
-                       std::shared_ptr<RequestState> req) {
-  RdzvRecv rec;
+MpiHeader MpiFm2::grant_rts(int src, std::uint64_t id, int tag,
+                            std::size_t bytes, std::byte* buf,
+                            std::shared_ptr<RequestState> req,
+                            bool sender_rdma) {
+  const std::uint64_t key = rdzv_key(src, id);
+  RdzvRecv& rec = rdzv_recvs_[key];
   rec.req = std::move(req);
   rec.buf = buf;
   rec.src = src;
   rec.tag = tag;
   rec.bytes = bytes;
-  rdzv_recvs_[rdzv_key(src, id)] = std::move(rec);
+  rec.id = id;
+
+  MpiHeader cts;
+  cts.kind = kCts;
+  cts.seq = id;
+  cts.src_rank = rank();
+  if (opt_.rdma && sender_rdma && bytes > 0) {
+    // Pin the posted buffer, hand it to the NIC as a remote-write target,
+    // and advertise the rkey in the CTS. The NIC calls back when the last
+    // byte lands; the host never copies the payload.
+    fm2::Endpoint::RdmaBuffer rb = fm_.post_rdma_buffer(
+        MutByteSpan{buf, bytes}, [this, key] { on_rdma_complete(key); });
+    rec.mr = rb.mr;
+    cts.flags |= kFlagRdma;
+    cts.bytes = rb.rkey;
+  }
+  return cts;
+}
+
+// Runs on the NIC (rx DMA program) the moment the last RDMA chunk is
+// placed: complete the posted receive, unpin, and queue the DONE control
+// message back to the sender. Only bookkeeping here — the DONE send is a
+// fresh daemon because this is not a host coroutine context.
+void MpiFm2::on_rdma_complete(std::uint64_t key) {
+  auto it = rdzv_recvs_.find(key);
+  if (it == rdzv_recvs_.end()) return;
+  RdzvRecv rec = std::move(it->second);
+  rdzv_recvs_.erase(it);
+  fm_.host().charge(Cost::kBufferMgmt, kRequestCost);
+  fm_.release_rdma(rec.mr);
+  ++stats_.recvs;
+  complete(*rec.req, rec.src, rec.tag, rec.bytes);
+  MpiHeader done;
+  done.kind = kRdzvDone;
+  done.seq = rec.id;
+  done.src_rank = rank();
+  fm_.host().engine().spawn_daemon(send_control(rec.src, done));
+}
+
+sim::Task<void> MpiFm2::send_control(int to, MpiHeader h) {
+  co_await fm_.send(to, kMpiHandler, as_bytes_of(h));
 }
 
 fm2::HandlerTask MpiFm2::on_message(fm2::RecvStream& s, int /*src*/) {
@@ -140,11 +214,8 @@ fm2::HandlerTask MpiFm2::on_message(fm2::RecvStream& s, int /*src*/) {
       }
       fm_.tracer().record(trace::EventType::kMatch, trace::Layer::kMpi,
                           fm_.id(), s.trace_id(), h.bytes);
-      grant_rts(h.src_rank, h.seq, h.tag, h.bytes, pr->buf, pr->req);
-      MpiHeader cts;
-      cts.kind = kCts;
-      cts.seq = h.seq;
-      cts.src_rank = rank();
+      MpiHeader cts = grant_rts(h.src_rank, h.seq, h.tag, h.bytes, pr->buf,
+                                pr->req, (h.flags & kFlagRdma) != 0);
       int to = h.src_rank;
       fm_.defer([this, to, cts]() -> sim::Task<void> {
         co_await fm_.send(to, kMpiHandler, as_bytes_of(cts));
@@ -158,13 +229,21 @@ fm2::HandlerTask MpiFm2::on_message(fm2::RecvStream& s, int /*src*/) {
       ua->is_rts = true;
       ua->rts_id = h.seq;
       ua->rts_bytes = h.bytes;
+      ua->rts_rdma = (h.flags & kFlagRdma) != 0;
       unexpected_.push_back(ua);
       ++stats_.unexpected;
     }
     co_return;
   }
   if (h.kind == kCts) {
-    rdzv_sends_.at(h.seq).cts = true;
+    PendingRdzvSend& ps = rdzv_sends_.at(h.seq);
+    ps.use_rdma = (h.flags & kFlagRdma) != 0;
+    ps.rkey = h.bytes;  // CTS reuses the length field for the rkey
+    ps.cts = true;
+    co_return;
+  }
+  if (h.kind == kRdzvDone) {
+    rdzv_sends_.at(h.seq).done = true;
     co_return;
   }
   if (h.kind == kRdzvData) {
@@ -263,12 +342,8 @@ sim::Task<Request> MpiFm2::do_post_recv(MutByteSpan buf, int src, int tag) {
         throw std::runtime_error(
             "MPI: message truncation (buffer too small)");
       }
-      grant_rts(ua->src, ua->rts_id, ua->tag, ua->rts_bytes, buf.data(),
-                st);
-      MpiHeader cts;
-      cts.kind = kCts;
-      cts.seq = ua->rts_id;
-      cts.src_rank = rank();
+      MpiHeader cts = grant_rts(ua->src, ua->rts_id, ua->tag, ua->rts_bytes,
+                                buf.data(), st, ua->rts_rdma);
       int to = ua->src;
       unexpected_.erase(it);
       co_await host.sync();

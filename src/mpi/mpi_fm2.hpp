@@ -28,6 +28,13 @@ struct MpiFm2Options {
   /// known, so large unexpected messages never get staged. Default: eager
   /// only (the paper-era MPI-FM protocol).
   std::size_t eager_threshold = ~std::size_t{0};
+  /// Move rendezvous payloads with RDMA remote-memory writes: the CTS
+  /// carries an rkey for the pinned receive buffer and the sender's NIC
+  /// writes straight into it — zero host copies on either side (the FM
+  /// host-staged stream path remains as the rdma=false ablation). Both
+  /// sides negotiate: the payload goes RDMA only if sender and receiver
+  /// enable it.
+  bool rdma = true;
 };
 
 class MpiFm2 : public Comm {
@@ -78,10 +85,15 @@ class MpiFm2 : public Comm {
     bool is_rts = false;
     std::uint64_t rts_id = 0;
     std::size_t rts_bytes = 0;
+    bool rts_rdma = false;  // sender offered the RDMA data path
   };
 
   struct PendingRdzvSend {
     bool cts = false;
+    // RDMA negotiation result, carried by the CTS.
+    bool use_rdma = false;
+    std::uint32_t rkey = 0;
+    bool done = false;  // receiver's DONE arrived (RDMA placement finished)
   };
   struct RdzvRecv {
     std::shared_ptr<RequestState> req;
@@ -89,15 +101,22 @@ class MpiFm2 : public Comm {
     int src = -1;
     int tag = 0;
     std::size_t bytes = 0;
+    std::uint64_t id = 0;  // sender's rendezvous id (for the DONE reply)
+    std::uint64_t mr = 0;  // pin-down handle (RDMA path)
   };
 
   fm2::HandlerTask on_message(fm2::RecvStream& s, int src);
   void complete(RequestState& st, int src, int tag, std::size_t count);
   void finish_unexpected(const std::shared_ptr<UnexpectedArrival>& ua);
   /// Accept an RTS whose receive buffer is known: record the rendezvous
-  /// and queue the CTS reply.
-  void grant_rts(int src, std::uint64_t id, int tag, std::size_t bytes,
-                 std::byte* buf, std::shared_ptr<RequestState> req);
+  /// (posting the buffer as an RDMA target when both sides negotiate it)
+  /// and return the CTS header to send back.
+  MpiHeader grant_rts(int src, std::uint64_t id, int tag, std::size_t bytes,
+                      std::byte* buf, std::shared_ptr<RequestState> req,
+                      bool sender_rdma);
+  /// NIC completion callback target for an RDMA rendezvous receive.
+  void on_rdma_complete(std::uint64_t key);
+  sim::Task<void> send_control(int to, MpiHeader h);
 
   std::unique_ptr<fm2::Endpoint> owned_;
   fm2::Endpoint& fm_;

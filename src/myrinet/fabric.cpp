@@ -175,7 +175,7 @@ sim::Task<void> Fabric::transmit(WirePacket pkt) {
     tracer_.record(trace::EventType::kWireHop, trace::Layer::kFabric, pkt.src,
                    pkt.trace_id,
                    static_cast<std::uint64_t>(hops(pkt.src, pkt.dst)));
-    const sim::Ps ser = ser_time(pkt.payload.size());
+    const sim::Ps ser = ser_time(pkt);
     const auto& path = route(pkt.src, pkt.dst);
     sim::Ps head = eng_.now();
     sim::Ps tail_done = eng_.now();
@@ -207,7 +207,7 @@ sim::Task<void> Fabric::transmit(WirePacket pkt) {
     co_return;
   }
 
-  const sim::Ps ser = ser_time(pkt.payload.size());
+  const sim::Ps ser = ser_time(pkt);
   const auto& path = route(pkt.src, pkt.dst);
 
   // Cut-through reservation: on each link, start when the head arrives and
@@ -270,7 +270,7 @@ void Fabric::launch_remote(std::uint32_t idx) {
 // downlink at `head`; reserve it, wait out the destination NIC's SRAM
 // back-pressure, and deliver when the tail has propagated.
 sim::Task<void> Fabric::deliver_remote(WirePacket pkt, sim::Ps head) {
-  const sim::Ps ser = ser_time(pkt.payload.size());
+  const sim::Ps ser = ser_time(pkt);
   Link* dn = down_[pkt.dst].get();
   const sim::Ps tail_done = dn->ser.reserve_from(head, ser);
   const sim::Ps arrival = tail_done + dn->latency;

@@ -144,9 +144,12 @@ class Fabric {
   sim::Task<void> deliver_duplicate(WirePacket pkt);
   void launch_remote(std::uint32_t idx);
   void maybe_corrupt(WirePacket& pkt);
-  sim::Ps ser_time(std::size_t payload) const noexcept {
+  sim::Ps ser_time(const WirePacket& pkt) const noexcept {
+    std::size_t b = wire_bytes(pkt.payload.size());
+    // Remote-write packets carry the rkey/offset header on the real wire.
+    if (pkt.kind == PacketKind::kRdmaWrite) b += p_.rdma_hdr_bytes;
     return static_cast<sim::Ps>(p_.link_ps_per_byte *
-                                static_cast<double>(wire_bytes(payload)));
+                                static_cast<double>(b));
   }
 
   sim::Engine& eng_;

@@ -7,10 +7,13 @@
 
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
+#include <unordered_map>
 
 #include "common/buffer.hpp"
 #include "common/copy_stats.hpp"
 #include "myrinet/params.hpp"
+#include "myrinet/reg_cache.hpp"
 #include "sim/engine.hpp"
 #include "sim/ledger.hpp"
 #include "sim/task.hpp"
@@ -20,7 +23,7 @@ namespace fmx::net {
 class Host {
  public:
   Host(sim::Engine& eng, int id, const HostParams& p)
-      : eng_(eng), id_(id), p_(p) {}
+      : eng_(eng), id_(id), p_(p), reg_cache_(p.reg) {}
   Host(const Host&) = delete;
   Host& operator=(const Host&) = delete;
 
@@ -88,12 +91,52 @@ class Host {
   const sim::CostLedger& ledger() const noexcept { return ledger_; }
   sim::CostLedger& ledger() noexcept { return ledger_; }
 
+  /// Pin-down cache for the RDMA rendezvous path. Callers charge the
+  /// returned Acquire::cost to this host (Cost::kBufferMgmt).
+  RegCache& reg_cache() noexcept { return reg_cache_; }
+  const RegCache& reg_cache() const noexcept { return reg_cache_; }
+
+  /// Translate a real buffer pointer into this host's simulated address
+  /// space before handing it to the pin-down cache. The cache's cost model
+  /// is page-granular, so raw heap pointers would leak the *process*
+  /// allocator's placement — page offsets and accidental adjacency — into
+  /// simulated pin costs, which must be a function of the simulation alone
+  /// (they differ per run, per thread count, per libc). Each distinct
+  /// buffer gets a page-aligned simulated range in first-touch order
+  /// (simulated event order, hence deterministic), separated by a guard
+  /// page so unrelated buffers never abut or coalesce by accident.
+  /// Re-presenting the same base pointer maps to the same range, so
+  /// registration-cache hits on buffer reuse are preserved; a larger span
+  /// at the same base re-registers at a fresh range (the old region stays
+  /// cached until evicted, like a real pin cache). Interior pointers are
+  /// treated as distinct buffers.
+  const void* sim_addr(const void* p, std::size_t n) {
+    const std::uintptr_t page = p_.reg.page_bytes;
+    auto it = va_map_.find(p);
+    if (it == va_map_.end() || n > it->second.reserved) {
+      VaRange r;
+      r.va = next_va_;
+      r.reserved = ((n > 0 ? n + page - 1 : page) / page) * page;
+      next_va_ += r.reserved + page;  // +1 guard page
+      it = va_map_.insert_or_assign(p, r).first;
+    }
+    return reinterpret_cast<const void*>(it->second.va);
+  }
+
  private:
+  struct VaRange {
+    std::uintptr_t va = 0;
+    std::size_t reserved = 0;  ///< page-rounded span backing this mapping
+  };
+
   sim::Engine& eng_;
   int id_;
   HostParams p_;
   sim::CostLedger ledger_;
   sim::Ps pending_ = 0;
+  RegCache reg_cache_;
+  std::unordered_map<const void*, VaRange> va_map_;
+  std::uintptr_t next_va_ = 1 << 16;  ///< skip low addresses (readability)
 };
 
 }  // namespace fmx::net

@@ -10,6 +10,8 @@
 #include <deque>
 #include <functional>
 #include <limits>
+#include <unordered_map>
+#include <vector>
 
 #include "myrinet/fabric.hpp"
 #include "myrinet/fault_hooks.hpp"
@@ -48,6 +50,10 @@ struct SendDescriptor {
   std::function<void()> on_fetched;
   /// Tracing metadata (trace::Tracer::msg_id); copied onto the WirePacket.
   std::uint64_t trace_id = 0;
+  /// Remote-write addressing, threaded onto the WirePacket (see packet.hpp).
+  PacketKind kind = PacketKind::kData;
+  std::uint32_t rkey = 0;
+  std::uint32_t rdma_offset = 0;
 };
 
 class Nic {
@@ -116,6 +122,16 @@ class Nic {
   /// Host receive region: the messaging layer's FM_extract pops from here.
   sim::Channel<RxPacket>& host_ring() noexcept { return host_ring_; }
 
+  /// Register a remote-write target: incoming kRdmaWrite packets carrying
+  /// the returned rkey are placed by the NIC's DMA engine directly into
+  /// `dst` at their rdma_offset — the host CPU never copies the bytes.
+  /// When every byte of `dst` has been placed (duplicates are idempotent:
+  /// chunks are mtu-granular and each lands at most once), `on_complete`
+  /// runs on the NIC and the registration is retired. The caller must keep
+  /// `dst` valid until then.
+  std::uint32_t post_rdma_target(MutByteSpan dst,
+                                 std::function<void()> on_complete);
+
   struct Stats {
     std::uint64_t tx_packets = 0;
     std::uint64_t rx_packets = 0;
@@ -124,6 +140,11 @@ class Nic {
     std::uint64_t retransmissions = 0;
     std::uint64_t acks_sent = 0;
     std::uint64_t seq_dropped = 0;  // duplicates + out-of-order discards
+    // RDMA remote-write path
+    std::uint64_t rdma_rx_chunks = 0;   // chunks placed into user memory
+    std::uint64_t rdma_rx_bytes = 0;
+    std::uint64_t rdma_completions = 0; // targets fully written
+    std::uint64_t rdma_stale = 0;       // chunk for unknown/retired rkey
   };
   const Stats& stats() const noexcept { return stats_; }
   /// Unacked packets currently retained (reliable-link mode).
@@ -170,6 +191,16 @@ class Nic {
   std::size_t host_ring_depth() const noexcept { return host_ring_.size(); }
 
  private:
+  /// A posted remote-write landing zone. Chunks are mtu_payload-granular
+  /// (offset = chunk_index * mtu), so a bitmap makes duplicate placements
+  /// (retransmission + ack loss) idempotent.
+  struct RdmaTarget {
+    MutByteSpan dst;
+    std::vector<bool> chunk_seen;
+    std::size_t received = 0;  // distinct bytes placed so far
+    std::function<void()> on_complete;
+  };
+
   struct PeerTx {
     std::uint32_t next_seq = 0;
     std::uint32_t base = 0;            // oldest unacked
@@ -188,6 +219,7 @@ class Nic {
   sim::Task<void> ack_program();
   sim::Task<void> retransmit_program();
   void process_ack(int peer, std::uint32_t ack);
+  void place_rdma(RxPacket& pkt);
 
   sim::Engine& eng_;
   int id_;
@@ -208,6 +240,10 @@ class Nic {
   sim::CondVar rtx_cv_;      // retained packets exist
   FaultInjector* fault_ = nullptr;
   Stats stats_;
+  // RDMA remote-write targets, keyed by rkey. Deterministic: the counter
+  // advances in posting order, which is simulation order.
+  std::unordered_map<std::uint32_t, RdmaTarget> rdma_targets_;
+  std::uint32_t next_rkey_ = 1;
   // wire_floor state, written only by this NIC's control programs (same
   // engine, hence same worker thread as the emission-bound hook).
   static constexpr sim::Ps kNeverArmed = std::numeric_limits<sim::Ps>::max();

@@ -86,6 +86,12 @@ class Cluster {
       m.expose(pre + "host.copied_bytes", hl.copied_bytes_cell());
       m.expose(pre + "host.pool_misses", hl.allocs_cell());
       m.expose(pre + "host.pool_miss_bytes", hl.alloc_bytes_cell());
+      const RegCache::Stats& rs = n->host().reg_cache().stats();
+      m.expose(pre + "regcache.hits", &rs.hits);
+      m.expose(pre + "regcache.misses", &rs.misses);
+      m.expose(pre + "regcache.evictions", &rs.evictions);
+      m.expose(pre + "regcache.coalesces", &rs.coalesces);
+      m.expose(pre + "regcache.pinned_bytes", &rs.pinned_bytes);
     }
   }
 

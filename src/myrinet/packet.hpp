@@ -20,6 +20,16 @@
 
 namespace fmx::net {
 
+/// What the destination NIC's control program does with the packet.
+///  - kData: DMA into the host receive ring; the messaging layer extracts it.
+///  - kRdmaWrite: remote-memory write. The payload carries no FM header; the
+///    NIC places the bytes directly into the registered buffer identified by
+///    rkey at rdma_offset and the host never touches them (true zero-copy).
+enum class PacketKind : std::uint8_t {
+  kData = 0,
+  kRdmaWrite = 1,
+};
+
 // Note: these types travel by value through coroutines, so they carry
 // user-declared constructors (see the toolchain note in sim/task.hpp).
 struct WirePacket {
@@ -30,6 +40,14 @@ struct WirePacket {
   std::uint64_t wire_seq = 0;  ///< per-fabric sequence (debug/tracing)
   BufferRef payload;
   std::uint32_t crc = 0;
+
+  // RDMA remote-write addressing (kind == kRdmaWrite only). On the real
+  // wire these ride a small extra header (FabricParams::rdma_hdr_bytes,
+  // charged in serialization time); in the simulator they travel out of
+  // band like src/dst so eager packets are byte-identical to before.
+  PacketKind kind = PacketKind::kData;
+  std::uint32_t rkey = 0;         ///< destination registration handle
+  std::uint32_t rdma_offset = 0;  ///< byte offset into the registered buffer
 
   // Link-level reliability (go-back-N extension; NicParams::reliable_link).
   std::uint32_t link_seq = 0;   ///< per (src,dst) sequence number
@@ -57,6 +75,17 @@ struct WirePacket {
     return make(src, dst, BufferRef::copy_of(ByteSpan{payload}));
   }
 
+  /// Remote-write packet: `payload` is typically a borrowed subslice of the
+  /// sender's pinned user buffer.
+  static WirePacket make_rdma(int src, int dst, BufferRef payload,
+                              std::uint32_t rkey, std::uint32_t offset) {
+    WirePacket p = make(src, dst, std::move(payload));
+    p.kind = PacketKind::kRdmaWrite;
+    p.rkey = rkey;
+    p.rdma_offset = offset;
+    return p;
+  }
+
   bool crc_ok() const { return payload.crc() == crc; }
 };
 
@@ -70,6 +99,12 @@ struct RxPacket {
   BufferRef payload;
   sim::Ps arrived = 0;  ///< time the packet landed in host memory
   std::uint64_t trace_id = 0;  ///< tracing metadata, threaded from the wire
+  // RDMA addressing, threaded from the wire packet; kRdmaWrite packets are
+  // consumed inside the NIC (placed into the registered buffer) and never
+  // reach the host ring, but they ride the same rx pipeline stages.
+  PacketKind kind = PacketKind::kData;
+  std::uint32_t rkey = 0;
+  std::uint32_t rdma_offset = 0;
   /// Piggybacked flow-control credits already harvested from the header.
   /// Replaces the old strip-by-rewrite (which would force a COW clone on
   /// every parked packet sharing its block with the sender's retention).

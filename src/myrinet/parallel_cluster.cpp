@@ -27,9 +27,12 @@ struct CrossMsg {
   std::uint32_t payload_len;
   std::int32_t src;
   std::int32_t dst;
+  std::uint32_t rkey;
+  std::uint32_t rdma_offset;
   std::uint8_t has_ack;
   std::uint8_t ack_only;
-  std::uint8_t pad[6];
+  std::uint8_t kind;  // PacketKind
+  std::uint8_t pad[5];
 };
 static_assert(std::is_trivially_copyable_v<CrossMsg>);
 
@@ -48,6 +51,9 @@ void encode(std::byte* slot, const WirePacket& pkt, sim::Ps head,
   m.dst = pkt.dst;
   m.has_ack = pkt.has_ack ? 1 : 0;
   m.ack_only = pkt.ack_only ? 1 : 0;
+  m.kind = static_cast<std::uint8_t>(pkt.kind);
+  m.rkey = pkt.rkey;
+  m.rdma_offset = pkt.rdma_offset;
   std::memcpy(slot, &m, sizeof(m));
   if (!pkt.payload.empty()) {
     std::memcpy(slot + sizeof(m), pkt.payload.data(), pkt.payload.size());
@@ -68,6 +74,9 @@ void decode(const std::byte* slot, Fabric& dst_fabric) {
   pkt.ack = m.ack;
   pkt.has_ack = m.has_ack != 0;
   pkt.ack_only = m.ack_only != 0;
+  pkt.kind = static_cast<PacketKind>(m.kind);
+  pkt.rkey = m.rkey;
+  pkt.rdma_offset = m.rdma_offset;
   pkt.payload = dst_fabric.pool().acquire_ref(m.payload_len);
   if (m.payload_len != 0) {
     std::memcpy(pkt.payload.mutable_bytes().data(), slot + sizeof(m),
@@ -208,9 +217,20 @@ ParallelCluster::ParallelCluster(const ClusterParams& p, int n_shards)
     }
   }
 
+  // Pre-size each shard's event heap for the deepest cross-ring drain the
+  // ring/spill pools themselves are pre-sized for: every inbound peer can
+  // deliver a full ring (kRingSlots) plus the pre-warmed spill allowance
+  // (4x slots) in one batch, and each drained message becomes one
+  // scheduled event. How full the rings actually get depends on
+  // wall-clock thread skew, so growing on demand would allocate at an
+  // unpredictable point mid-measurement.
+  const std::size_t drain_peak =
+      4096 + static_cast<std::size_t>(n_shards_ - 1) * 5 * kRingSlots;
+
   fabrics_.reserve(n_shards_);
   ports_.reserve(n_shards_);
   for (int s = 0; s < n_shards_; ++s) {
+    par_.shard(s).reserve_events(drain_peak);
     fabrics_.push_back(
         std::make_unique<Fabric>(par_.shard(s), p.fabric, p.n_hosts));
     ports_.push_back(std::make_unique<Port>(this, s));
@@ -413,6 +433,12 @@ void ParallelCluster::expose_metrics() {
     m.expose(pre + "host.copied_bytes", hl.copied_bytes_cell());
     m.expose(pre + "host.pool_misses", hl.allocs_cell());
     m.expose(pre + "host.pool_miss_bytes", hl.alloc_bytes_cell());
+    const RegCache::Stats& rs = n->host().reg_cache().stats();
+    m.expose(pre + "regcache.hits", &rs.hits);
+    m.expose(pre + "regcache.misses", &rs.misses);
+    m.expose(pre + "regcache.evictions", &rs.evictions);
+    m.expose(pre + "regcache.coalesces", &rs.coalesces);
+    m.expose(pre + "regcache.pinned_bytes", &rs.pinned_bytes);
   }
 }
 

@@ -18,6 +18,21 @@ namespace fmx::net {
 
 using sim::Ps;
 
+/// Registration (pin-down) cache for the RDMA large-message path. Pinning
+/// a buffer is a syscall + driver page-table walk — tens of microseconds —
+/// so registrations are cached and unpinned lazily (LRU) like FM's
+/// descendants (VIA, IB verbs, pMR) all do. Costs calibrated to the
+/// mlock+driver numbers contemporaries reported: ~10 us base plus ~1 us
+/// per page to pin, ~0.5 us per page to unpin on eviction.
+struct RegCacheParams {
+  std::size_t capacity_bytes = 4 * 1024 * 1024;  ///< pinned-memory budget
+  std::size_t page_bytes = 4096;
+  Ps pin_base = sim::us(10);       ///< per-registration syscall cost (miss)
+  Ps pin_per_page = sim::us(1);    ///< driver work per newly pinned page
+  Ps unpin_per_page = sim::ns(500);///< eviction work per unpinned page
+  Ps lookup = sim::ns(200);        ///< cache probe (hit or miss)
+};
+
 /// Host CPU + memory-system cost model.
 struct HostParams {
   double cpu_hz = 200e6;  ///< cycles <-> time conversions
@@ -32,6 +47,8 @@ struct HostParams {
   Ps call_overhead = sim::ns(100);      ///< generic library-call cost
   Ps handler_dispatch = sim::ns(150);   ///< handler table lookup + invoke
   Ps poll_gap = sim::ns(200);           ///< one empty poll of the rx ring
+
+  RegCacheParams reg;  ///< pin-down cache (RDMA rendezvous path)
 };
 
 /// I/O bus (SBus / PCI) model: a shared, FIFO-arbitrated resource.
@@ -70,6 +87,10 @@ struct FabricParams {
   Ps switch_latency = sim::ns(550);   ///< crossbar routing decision per hop
   std::size_t frame_overhead = 9;     ///< type+route+framing bytes per packet
   std::size_t crc_bytes = 4;
+  /// Extra wire header on remote-write (RDMA) packets only: rkey + offset +
+  /// length + op type. Charged in serialization time for kRdmaWrite packets;
+  /// eager/data packets are byte-identical with or without the RDMA path.
+  std::size_t rdma_hdr_bytes = 16;
   int hosts_per_switch = 8;           ///< larger clusters chain switches
   double bit_error_rate = 0.0;        ///< per-bit corruption probability
 };

@@ -1,0 +1,141 @@
+#include "myrinet/reg_cache.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace fmx::net {
+
+namespace {
+std::uintptr_t page_floor(std::uintptr_t a, std::size_t page) {
+  return a / page * page;
+}
+std::uintptr_t page_ceil(std::uintptr_t a, std::size_t page) {
+  return (a + page - 1) / page * page;
+}
+}  // namespace
+
+std::uint64_t RegCache::resolve(std::uint64_t handle) const {
+  // Follow merge aliases to the surviving region id. Chains are short (one
+  // per absorption), so no path compression is needed.
+  auto it = alias_.find(handle);
+  while (it != alias_.end()) {
+    handle = it->second;
+    it = alias_.find(handle);
+  }
+  return handle;
+}
+
+RegCache::Acquire RegCache::acquire(const void* addr, std::size_t len) {
+  Acquire out;
+  out.cost = p_.lookup;
+  const auto a = reinterpret_cast<std::uintptr_t>(addr);
+  std::uintptr_t begin = page_floor(a, p_.page_bytes);
+  std::uintptr_t end = page_ceil(a + (len == 0 ? 1 : len), p_.page_bytes);
+  ++tick_;
+
+  // Covering hit: the first region whose begin is <= ours, if it reaches
+  // past our end. (Coalescing keeps cached regions disjoint, so only that
+  // one candidate can cover us.)
+  auto it = regions_.upper_bound(begin);
+  if (it != regions_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end >= end) {
+      ++stats_.hits;
+      ++prev->second.uses;
+      ++active_uses_;
+      prev->second.lru = tick_;
+      out.hit = true;
+      out.handle = prev->second.id;
+      return out;
+    }
+  }
+
+  // Miss: pin the uncovered pages, absorbing every overlapping or abutting
+  // region (their pages are already pinned and must not be re-pinned, and
+  // their handles must survive the merge).
+  ++stats_.misses;
+  out.cost += p_.pin_base;
+  std::uintptr_t covered = 0;
+  Region merged;
+  merged.id = next_id_++;
+  merged.uses = 1;
+  merged.lru = tick_;
+  ++active_uses_;
+
+  auto first = regions_.upper_bound(begin);
+  if (first != regions_.begin() && std::prev(first)->second.end >= begin) {
+    --first;  // predecessor overlaps or abuts [begin, end)
+  }
+  auto last = first;
+  while (last != regions_.end() && last->first <= end) {
+    Region& r = last->second;
+    covered += r.end - last->first;
+    if (last->first < begin) begin = last->first;
+    if (r.end > end) end = r.end;
+    merged.uses += r.uses;
+    alias_[r.id] = merged.id;
+    ++stats_.coalesces;
+    --stats_.regions;
+    stats_.pinned_bytes -= r.end - last->first;
+    ++last;
+  }
+  regions_.erase(first, last);
+  // Coalesces counts absorbed regions; a plain miss into empty space
+  // absorbs none.
+  // (stats_.coalesces was incremented per absorbed region above.)
+
+  assert(end - begin >= covered);
+  const std::uintptr_t fresh = (end - begin) - covered;
+  out.cost += static_cast<sim::Ps>(fresh / p_.page_bytes) * p_.pin_per_page;
+
+  merged.end = end;
+  regions_.emplace(begin, merged);
+  by_id_[merged.id] = begin;
+  ++stats_.regions;
+  stats_.pinned_bytes += end - begin;
+  out.handle = merged.id;
+
+  maybe_evict(&out.cost);
+  return out;
+}
+
+void RegCache::release(std::uint64_t handle) {
+  const std::uint64_t id = resolve(handle);
+  auto bit = by_id_.find(id);
+  assert(bit != by_id_.end() && "release of unknown registration");
+  if (bit == by_id_.end()) return;
+  auto rit = regions_.find(bit->second);
+  assert(rit != regions_.end());
+  Region& r = rit->second;
+  assert(r.uses > 0);
+  --r.uses;
+  --active_uses_;
+  // The entry stays cached (and pinned): the next send from this buffer is
+  // a hit. Eviction happens only under capacity pressure in acquire().
+}
+
+void RegCache::maybe_evict(sim::Ps* cost) {
+  while (stats_.pinned_bytes > p_.capacity_bytes) {
+    // LRU among idle regions. Linear scan: a pin-down cache holds a
+    // handful of hot buffers, not thousands.
+    auto victim = regions_.end();
+    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+    for (auto it = regions_.begin(); it != regions_.end(); ++it) {
+      if (it->second.uses != 0) continue;
+      if (it->second.lru < oldest) {
+        oldest = it->second.lru;
+        victim = it;
+      }
+    }
+    if (victim == regions_.end()) return;  // everything in use: over budget
+    const std::uintptr_t bytes = victim->second.end - victim->first;
+    *cost += static_cast<sim::Ps>(bytes / p_.page_bytes) * p_.unpin_per_page;
+    ++stats_.evictions;
+    --stats_.regions;
+    stats_.pinned_bytes -= bytes;
+    by_id_.erase(victim->second.id);
+    regions_.erase(victim);
+  }
+}
+
+}  // namespace fmx::net

@@ -1,0 +1,89 @@
+// Registration (pin-down) cache: the host-side half of the RDMA data
+// plane. Before the NIC may DMA directly from/into user memory, the pages
+// must be pinned and their translations loaded into the NIC — an expensive
+// host operation (RegCacheParams::pin_base + pin_per_page). Registrations
+// are therefore cached: a buffer reused across messages hits and pays only
+// the lookup, and entries are unpinned lazily, evicted LRU only when the
+// pinned-memory budget is exceeded.
+//
+// The cache is pure bookkeeping plus a cost model — it performs no
+// simulated delay itself. acquire() returns the modeled host cost of the
+// operation; the caller charges it to its Host ledger and pays it at the
+// next sync. Everything is deterministic in the call sequence.
+//
+// Region semantics:
+//  - Ranges are rounded out to page boundaries before lookup.
+//  - A hit is an existing region fully covering the request.
+//  - A miss pins the request's pages; regions that overlap or abut the new
+//    range are coalesced into one (their already-pinned pages are not
+//    re-pinned, and their outstanding handles stay valid).
+//  - release() drops a use count; entries stay cached (pinned) at zero
+//    uses — that is the whole point of a pin-down cache — until eviction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "myrinet/params.hpp"
+#include "sim/time.hpp"
+
+namespace fmx::net {
+
+class RegCache {
+ public:
+  explicit RegCache(const RegCacheParams& p) : p_(p) {}
+  RegCache(const RegCache&) = delete;
+  RegCache& operator=(const RegCache&) = delete;
+
+  struct Acquire {
+    std::uint64_t handle = 0;  ///< pass to release() when I/O completes
+    bool hit = false;
+    sim::Ps cost = 0;  ///< modeled host cost (lookup + pin + evict work)
+  };
+
+  /// Register (or re-reference) [addr, addr+len). Pins the covering pages
+  /// on a miss; bumps the region's use count either way.
+  Acquire acquire(const void* addr, std::size_t len);
+
+  /// Drop one use of the region behind `handle`. The region stays pinned
+  /// and cached; it only becomes evictable at zero uses.
+  void release(std::uint64_t handle);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t coalesces = 0;      ///< regions absorbed by a new range
+    std::uint64_t pinned_bytes = 0;   ///< page-rounded bytes currently pinned
+    std::uint64_t regions = 0;        ///< live cache entries
+  };
+  const Stats& stats() const noexcept { return stats_; }
+  const RegCacheParams& params() const noexcept { return p_; }
+
+  /// Uses outstanding across all regions (0 = nothing mid-I/O).
+  std::uint64_t active_uses() const noexcept { return active_uses_; }
+
+ private:
+  struct Region {
+    std::uintptr_t end = 0;   // one past the last pinned byte
+    std::uint64_t id = 0;     // stable region id (handle target)
+    std::uint32_t uses = 0;   // outstanding acquires
+    std::uint64_t lru = 0;    // last-touch tick
+  };
+
+  std::uint64_t resolve(std::uint64_t handle) const;
+  void maybe_evict(sim::Ps* cost);
+
+  RegCacheParams p_;
+  std::map<std::uintptr_t, Region> regions_;               // by begin addr
+  std::unordered_map<std::uint64_t, std::uintptr_t> by_id_; // id -> begin
+  std::unordered_map<std::uint64_t, std::uint64_t> alias_;  // merged ids
+  Stats stats_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t tick_ = 0;
+  std::uint64_t active_uses_ = 0;
+};
+
+}  // namespace fmx::net

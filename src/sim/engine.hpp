@@ -130,6 +130,20 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
+  /// Pre-size the event heap and callback-slot tables for a peak of
+  /// `events` simultaneously scheduled events. The defaults suit a serial
+  /// engine, where queue depth tracks the workload's natural concurrency;
+  /// a parallel-run shard can receive an entire cross-ring drain batch in
+  /// one burst (ParallelCluster calls this with its ring bounds) and the
+  /// burst depth depends on wall-clock thread skew — growth mid-run would
+  /// be a timing-dependent allocation in an otherwise allocation-free
+  /// steady state.
+  void reserve_events(std::size_t events) {
+    queue_.reserve(events);
+    fn_slots_.reserve(events);
+    free_fn_slots_.reserve(events);
+  }
+
   Ps now() const noexcept { return now_; }
 
   /// Schedule a callback at absolute time t (>= now).
@@ -236,6 +250,7 @@ class Engine {
     bool empty() const noexcept { return v_.empty(); }
     std::size_t size() const noexcept { return v_.size(); }
     Ps min_time() const noexcept { return v_.front().t; }
+    void reserve(std::size_t n) { v_.reserve(n); }
 
     void push(HeapEvent e) {
       v_.push_back(e);

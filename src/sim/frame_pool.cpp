@@ -1,5 +1,6 @@
 #include "sim/frame_pool.hpp"
 
+#include <atomic>
 #include <cstdlib>
 #include <new>
 
@@ -14,12 +15,32 @@ constexpr std::size_t kMaxPooled = 4096;
 constexpr std::size_t kClasses = kMaxPooled / kGranularity;
 constexpr std::size_t kSlabBytes = 64 * 1024;
 
-struct FreeNode {
-  FreeNode* next;
+struct Pool;
+
+// Every pooled frame is preceded by this header. It names the pool that
+// carved the frame so a free on a *different* thread can hand the memory
+// back to its owner instead of hoarding it locally: a coroutine spawned on
+// the main thread but completed by a parallel-run worker (spawn_on before
+// ParallelEngine::run) would otherwise drain the spawner's pool one-way,
+// forcing a fresh slab carve every few thousand spawns — the lone
+// steady-state allocation the bench alloc gate used to show. 16 bytes to
+// keep the frame's max_align_t alignment.
+struct FrameHeader {
+  union {
+    Pool* owner;        // valid while the frame is live
+    FrameHeader* next;  // valid while on a free list / remote stack
+  };
+  std::uint32_t bytes;  // rounded size including this header
+  std::uint32_t pad_;
 };
+static_assert(sizeof(FrameHeader) == 16);
+static_assert(alignof(std::max_align_t) <= 16);
 
 struct Pool {
-  FreeNode* free_list[kClasses] = {};
+  FrameHeader* free_list[kClasses] = {};
+  // Frames freed by other threads, pushed here lock-free and drained by
+  // the owner before it carves new slab space.
+  std::atomic<FrameHeader*> remote_head{nullptr};
   // Bump region of the current slab per class-agnostic arena.
   std::byte* bump = nullptr;
   std::size_t bump_left = 0;
@@ -27,13 +48,30 @@ struct Pool {
 };
 
 // One pool per thread: each parallel-run worker (sim/parallel.hpp) recycles
-// frames through its own free lists with no synchronization, preserving the
-// allocation-free steady state per shard. A frame is always freed on the
-// thread that is running its coroutine, so alloc and free hit the same
-// pool; slabs are retained for the life of the thread.
+// frames through its own free lists with no synchronization. Frames freed
+// on a foreign thread return to the owner through its remote stack, so no
+// pool leaks memory to another. The Pool object is heap-allocated and
+// deliberately never destroyed (like its slabs, which live for the
+// process): a frame may outlive the thread that carved it, and its
+// eventual free must find the owner pool's remote stack still valid.
 Pool& pool() {
-  thread_local Pool p;
-  return p;
+  thread_local Pool* p = new Pool;
+  return *p;
+}
+
+void push_local(Pool& p, FrameHeader* h) {
+  std::size_t cls = h->bytes / kGranularity - 1;
+  h->next = p.free_list[cls];
+  p.free_list[cls] = h;
+}
+
+void drain_remote(Pool& p) {
+  FrameHeader* h = p.remote_head.exchange(nullptr, std::memory_order_acquire);
+  while (h != nullptr) {
+    FrameHeader* next = h->next;
+    push_local(p, h);
+    h = next;
+  }
 }
 
 }  // namespace
@@ -43,54 +81,69 @@ namespace detail {
 void* frame_alloc(std::size_t n) {
   Pool& p = pool();
   ++p.stats.allocs;
-  if (n == 0) n = 1;
-  if (n > kMaxPooled) {
+  std::size_t total = n + sizeof(FrameHeader);
+  if (total > kMaxPooled) {
     ++p.stats.oversize;
     return ::operator new(n);
   }
-  std::size_t cls = (n + kGranularity - 1) / kGranularity - 1;
-  if (FreeNode* f = p.free_list[cls]) {
-    p.free_list[cls] = f->next;
-    ++p.stats.recycled;
-    return f;
-  }
+  std::size_t cls = (total + kGranularity - 1) / kGranularity - 1;
   std::size_t want = (cls + 1) * kGranularity;
-  if (p.bump_left < want) {
-    // Retire the slab remnant into the largest classes it still fits
-    // (avoids wasting the tail) and carve a fresh slab.
-    std::byte* rem =
-        p.bump != nullptr ? p.bump + (kSlabBytes - p.bump_left) : nullptr;
-    std::size_t left = p.bump != nullptr ? p.bump_left : 0;
-    while (left >= kGranularity) {
-      std::size_t rcls = left / kGranularity - 1;
-      std::size_t rbytes = (rcls + 1) * kGranularity;
-      auto* node = reinterpret_cast<FreeNode*>(rem);
-      node->next = p.free_list[rcls];
-      p.free_list[rcls] = node;
-      rem += rbytes;
-      left -= rbytes;
+  if (p.free_list[cls] == nullptr) drain_remote(p);
+  FrameHeader* h = p.free_list[cls];
+  if (h != nullptr) {
+    p.free_list[cls] = h->next;
+    ++p.stats.recycled;
+  } else {
+    if (p.bump_left < want) {
+      // Retire the slab remnant into the largest classes it still fits
+      // (avoids wasting the tail) and carve a fresh slab.
+      std::byte* rem =
+          p.bump != nullptr ? p.bump + (kSlabBytes - p.bump_left) : nullptr;
+      std::size_t left = p.bump != nullptr ? p.bump_left : 0;
+      while (left >= kGranularity) {
+        std::size_t rcls = left / kGranularity - 1;
+        std::size_t rbytes = (rcls + 1) * kGranularity;
+        auto* node = reinterpret_cast<FrameHeader*>(rem);
+        node->bytes = static_cast<std::uint32_t>(rbytes);
+        push_local(p, node);
+        rem += rbytes;
+        left -= rbytes;
+      }
+      p.bump = static_cast<std::byte*>(::operator new(kSlabBytes));
+      p.bump_left = kSlabBytes;
+      ++p.stats.slab_allocs;
     }
-    p.bump = static_cast<std::byte*>(::operator new(kSlabBytes));
-    p.bump_left = kSlabBytes;
-    ++p.stats.slab_allocs;
+    h = reinterpret_cast<FrameHeader*>(p.bump + (kSlabBytes - p.bump_left));
+    p.bump_left -= want;
   }
-  void* out = p.bump + (kSlabBytes - p.bump_left);
-  p.bump_left -= want;
-  return out;
+  h->owner = &p;
+  h->bytes = static_cast<std::uint32_t>(want);
+  return reinterpret_cast<std::byte*>(h) + sizeof(FrameHeader);
 }
 
 void frame_free(void* ptr, std::size_t n) noexcept {
   Pool& p = pool();
   ++p.stats.frees;
-  if (n == 0) n = 1;
-  if (n > kMaxPooled) {
+  if (n + sizeof(FrameHeader) > kMaxPooled) {
     ::operator delete(ptr);
     return;
   }
-  std::size_t cls = (n + kGranularity - 1) / kGranularity - 1;
-  auto* node = static_cast<FreeNode*>(ptr);
-  node->next = p.free_list[cls];
-  p.free_list[cls] = node;
+  auto* h = reinterpret_cast<FrameHeader*>(static_cast<std::byte*>(ptr) -
+                                           sizeof(FrameHeader));
+  Pool* owner = h->owner;
+  if (owner == &p) {
+    push_local(p, h);
+    return;
+  }
+  // Foreign free: hand the frame back to the pool that carved it. The
+  // owner may be parked or gone (its Pool is leaked, so the stack stays
+  // valid); it picks these up next time one of its free lists runs dry.
+  ++p.stats.remote_frees;
+  FrameHeader* head = owner->remote_head.load(std::memory_order_relaxed);
+  do {
+    h->next = head;
+  } while (!owner->remote_head.compare_exchange_weak(
+      head, h, std::memory_order_release, std::memory_order_relaxed));
 }
 
 }  // namespace detail

@@ -8,8 +8,11 @@
 // Each thread gets its own pool (thread_local): a shard engine driven by a
 // parallel-run worker (sim/parallel.hpp) recycles frames through its own
 // free lists with no locks, keeping the hot path allocation-free per shard.
-// Memory is carved from slabs that are retained for the life of the thread —
-// frames are recycled, never returned to malloc.
+// A frame freed on a different thread (e.g. spawned on the main thread,
+// completed by a worker) returns to its owning pool through a lock-free
+// remote stack, so cross-thread spawns cannot drain any pool one-way.
+// Memory is carved from slabs that are retained for the life of the
+// process — frames are recycled, never returned to malloc.
 #pragma once
 
 #include <cstddef>
@@ -23,6 +26,7 @@ struct FramePoolStats {
   std::uint64_t slab_allocs = 0;  // times a new slab was carved from malloc
   std::uint64_t oversize = 0;     // requests too big to pool (fell to new)
   std::uint64_t recycled = 0;     // allocs served from a free list
+  std::uint64_t remote_frees = 0;  // frames returned to a foreign pool
 };
 
 namespace detail {

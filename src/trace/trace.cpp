@@ -18,6 +18,8 @@ const char* to_string(EventType t) noexcept {
     case EventType::kDrop:        return "drop";
     case EventType::kMatch:       return "match";
     case EventType::kMsgDone:     return "msg_done";
+    case EventType::kRdmaWrite:   return "rdma_write";
+    case EventType::kRdmaDone:    return "rdma_done";
     case EventType::kCount:       break;
   }
   return "unknown";

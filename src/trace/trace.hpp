@@ -36,6 +36,8 @@ enum class EventType : std::uint8_t {
   kDrop,         // packet dropped (fault or CRC/seq)     (arg = reason code)
   kMatch,        // MPI receive matched                   (arg = bytes)
   kMsgDone,      // full message delivered to the app     (arg = bytes)
+  kRdmaWrite,    // NIC placed a remote-write chunk       (arg = bytes)
+  kRdmaDone,     // registered RDMA target fully written  (arg = total bytes)
   kCount,
 };
 

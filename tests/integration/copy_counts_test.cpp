@@ -30,6 +30,7 @@
 #include "common/copy_stats.hpp"
 #include "fm1/fm1.hpp"
 #include "fm2/fm2.hpp"
+#include "mpi/mpi_fm2.hpp"
 #include "myrinet/node.hpp"
 #include "myrinet/parallel_cluster.hpp"
 #include "tests/common/sim_fixture.hpp"
@@ -135,6 +136,55 @@ void expect_zero_copy_hops(const Copies& c) {
       << "physical endpoint copies diverged from the modeled count";
 }
 
+// MPI-FM2 rendezvous stream: every message is above the eager threshold,
+// so with rdma on each payload moves as remote-memory writes and the only
+// host-side byte movement is the 24-byte control envelopes.
+Copies rdzv_copies(std::size_t msg_size, bool rdma, int threads = 0) {
+  mpi::MpiFm2Options opt;
+  opt.eager_threshold = 1024;
+  opt.rdma = rdma;
+  int got = 0;
+  auto receiver = [](mpi::MpiFm2& c, std::size_t sz, int& g) -> Task<void> {
+    Bytes buf(sz);
+    for (int i = 0; i < kMsgs; ++i) {
+      co_await c.recv(MutByteSpan{buf}, 0, i);
+      ++g;
+    }
+  };
+  auto sender = [](mpi::MpiFm2& c, std::size_t sz) -> Task<void> {
+    Bytes m(sz);
+    for (int i = 0; i < kMsgs; ++i) co_await c.send(ByteSpan{m}, 1, i);
+  };
+  if (threads == 0) {  // serial cluster
+    Engine eng;
+    net::Cluster cluster(eng, net::ppro_fm2_cluster(2));
+    mpi::MpiFm2 tx(cluster, 0, {}, opt), rx(cluster, 1, {}, opt);
+    eng.spawn(sender(tx, msg_size));
+    eng.spawn(receiver(rx, msg_size, got));
+    CopyStats::instance().reset();
+    EXPECT_TRUE(test::run_to_exhaustion(eng));
+    EXPECT_EQ(got, kMsgs);
+    const std::size_t seg = tx.fm().max_payload_per_packet();
+    return Copies{tx.fm().host().ledger().copies(),
+                  rx.fm().host().ledger().copies(),
+                  (msg_size + seg - 1) / seg, CopyStats::instance().snapshot()};
+  }
+  net::ParallelCluster cl(net::ppro_fm2_cluster(2), 2);
+  fm2::Endpoint ep0(cl.node(0), cl.fabric_of(0));
+  fm2::Endpoint ep1(cl.node(1), cl.fabric_of(1));
+  mpi::MpiFm2 tx(ep0, opt), rx(ep1, opt);
+  cl.spawn_on(0, sender(tx, msg_size));
+  cl.spawn_on(1, receiver(rx, msg_size, got));
+  CopyStats::instance().reset();
+  auto r = cl.run(threads);
+  EXPECT_EQ(r.pending_roots, 0);
+  EXPECT_EQ(got, kMsgs);
+  const std::size_t seg = ep0.max_payload_per_packet();
+  return Copies{cl.node(0).host().ledger().copies(),
+                cl.node(1).host().ledger().copies(),
+                (msg_size + seg - 1) / seg, CopyStats::instance().snapshot()};
+}
+
 TEST(CopyCounts, Fm1MultiPacket) {
   Copies c = fm1_copies(2048);
   ASSERT_GT(c.packets_per_msg, 1u);
@@ -184,6 +234,48 @@ TEST(CopyCounts, Fm2ParallelShardsAddOnlyTheCrossShardCopies) {
         << threads << " threads";
     // The SPSC boundary is the one real copy pair per crossing packet —
     // present, counted, and the only per-hop copies in the run.
+    EXPECT_GT(par.real.hop_copies, 0u) << threads << " threads";
+    EXPECT_EQ(par.real.hop_copies % 2, 0u)
+        << threads << " threads: encode and decode must pair up";
+  }
+}
+
+TEST(CopyCounts, RendezvousRdmaMovesPayloadWithZeroHostCopies) {
+  constexpr std::size_t kSize = 32 * 1024;
+  Copies c = rdzv_copies(kSize, /*rdma=*/true);
+  // Every payload byte is placed by the NIC DMA engine exactly once ...
+  EXPECT_EQ(c.real.rdma_bytes, static_cast<std::uint64_t>(kMsgs) * kSize);
+  EXPECT_GT(c.real.rdma_writes, 0u);
+  // ... no packet is staged or duplicated anywhere on the wire path ...
+  EXPECT_EQ(c.real.hop_copies, 0u);
+  // ... and host-side byte movement is the control envelopes alone
+  // (RTS/CTS/DONE, 24-byte headers), never the payload.
+  EXPECT_LT(c.real.endpoint_bytes, static_cast<std::uint64_t>(kMsgs) * 1024);
+}
+
+TEST(CopyCounts, RendezvousStagedAblationPaysTheCopiesRdmaRemoves) {
+  // rdma=false keeps the negotiation but streams the payload through the
+  // normal host-staged path: the copies come back, proving the zero-copy
+  // claim above is the RDMA plane's doing and not an accounting artifact.
+  constexpr std::size_t kSize = 32 * 1024;
+  Copies staged = rdzv_copies(kSize, /*rdma=*/false);
+  EXPECT_EQ(staged.real.rdma_bytes, 0u);
+  EXPECT_GE(staged.real.endpoint_bytes,
+            static_cast<std::uint64_t>(kMsgs) * kSize);
+  EXPECT_EQ(staged.real.hop_copies, 0u);
+}
+
+TEST(CopyCounts, RendezvousRdmaParallelAddsOnlyCrossShardCopies) {
+  constexpr std::size_t kSize = 32 * 1024;
+  Copies serial = rdzv_copies(kSize, /*rdma=*/true);
+  for (int threads : {1, 2}) {
+    Copies par = rdzv_copies(kSize, /*rdma=*/true, threads);
+    EXPECT_EQ(par.real.rdma_bytes, static_cast<std::uint64_t>(kMsgs) * kSize)
+        << threads << " threads";
+    EXPECT_EQ(par.real.endpoint_bytes, serial.real.endpoint_bytes)
+        << threads << " threads";
+    // RDMA chunks crossing the shard boundary ride the SPSC ring like any
+    // other packet: one encode+decode copy pair each, and nothing else.
     EXPECT_GT(par.real.hop_copies, 0u) << threads << " threads";
     EXPECT_EQ(par.real.hop_copies % 2, 0u)
         << threads << " threads: encode and decode must pair up";

@@ -23,6 +23,7 @@
 #include "common/crc32.hpp"
 #include "fault/injector.hpp"
 #include "fm2/fm2.hpp"
+#include "mpi/mpi_fm2.hpp"
 #include "myrinet/parallel_cluster.hpp"
 #include "myrinet/params.hpp"
 
@@ -147,6 +148,87 @@ std::uint64_t run_workload(int threads, bool lossy,
     *trace_digest = td.h;
   }
   return d.h;
+}
+
+// --- Rendezvous/RDMA-heavy workload ----------------------------------------
+// Messages above the MPI-FM2 eager threshold negotiate RTS/CTS and move
+// their payloads as kRdmaWrite chunks the destination NIC places directly
+// into the posted receive buffer — a different packet kind, a different
+// completion path, and pin-down cache traffic, all of which must stay
+// bit-identical at any thread count. Ring traffic keeps every stream
+// crossing a shard boundary; one eager-sized message per pair interleaves
+// the two data planes.
+constexpr std::size_t kRdzvSizes[] = {8 * 1024 + 1, 12 * 1024, 640,
+                                      16 * 1024 + 7};
+constexpr int kRdzvMsgs = 4;
+
+std::uint64_t run_rdzv_workload(int threads) {
+  net::ParallelCluster cl(net::ppro_fm2_cluster(kNodes));
+  std::vector<std::unique_ptr<fm2::Endpoint>> eps;
+  std::vector<std::unique_ptr<mpi::MpiFm2>> mps;
+  mpi::MpiFm2Options opt;
+  opt.eager_threshold = 2048;
+  for (int i = 0; i < kNodes; ++i) {
+    eps.push_back(
+        std::make_unique<fm2::Endpoint>(cl.node(i), cl.fabric_of(i)));
+    mps.push_back(std::make_unique<mpi::MpiFm2>(*eps[i], opt));
+  }
+
+  std::vector<Digest> rx(kNodes);
+  for (int i = 0; i < kNodes; ++i) {
+    cl.spawn_on(i, [](mpi::MpiFm2& c, int self) -> Task<void> {
+      const int dst = (self + 1) % kNodes;
+      for (int k = 0; k < kRdzvMsgs; ++k) {
+        Bytes m = pattern_bytes(static_cast<std::uint64_t>(self) * 977 + k,
+                                kRdzvSizes[k]);
+        co_await c.send(ByteSpan{m}, dst, k);
+      }
+    }(*mps[i], i));
+    cl.spawn_on(i, [](mpi::MpiFm2& c, Digest& dg, int self) -> Task<void> {
+      const int src = (self + kNodes - 1) % kNodes;
+      for (int k = 0; k < kRdzvMsgs; ++k) {
+        Bytes buf(kRdzvSizes[k]);
+        co_await c.recv(MutByteSpan{buf}, src, k);
+        dg.mix(crc32(ByteSpan{buf}));
+      }
+    }(*mps[i], rx[i], i));
+  }
+
+  auto r = cl.run(threads);
+  EXPECT_EQ(r.pending_roots, 0) << "deadlock: unfinished roots";
+
+  Digest d;
+  d.mix(r.events);
+  for (int s = 0; s < cl.n_shards(); ++s) d.mix(cl.shard_engine(s).now());
+  std::uint64_t reg_misses = 0;
+  for (int i = 0; i < kNodes; ++i) {
+    d.mix(rx[i].h);
+    const auto& st = eps[i]->stats();
+    d.mix(st.msgs_sent);
+    d.mix(st.bytes_received);
+    d.mix(st.packets_sent);
+    d.mix(st.handler_starts);
+    const auto& ns = cl.node(i).nic().stats();
+    d.mix(ns.tx_packets);
+    d.mix(ns.rx_packets);
+    const auto& rs = cl.node(i).host().reg_cache().stats();
+    d.mix(rs.hits);
+    d.mix(rs.misses);
+    d.mix(rs.evictions);
+    d.mix(rs.pinned_bytes);
+    reg_misses += rs.misses;
+  }
+  const auto fs = cl.fabric_stats();
+  d.mix(fs.packets);
+  d.mix(fs.payload_bytes);
+  EXPECT_GT(reg_misses, 0u) << "rendezvous never took the RDMA path";
+  return d.h;
+}
+
+TEST(ParallelDeterminism, RendezvousRdmaBitIdenticalAcrossThreadCounts) {
+  const std::uint64_t serial = run_rdzv_workload(1);
+  EXPECT_EQ(run_rdzv_workload(2), serial);
+  EXPECT_EQ(run_rdzv_workload(4), serial);
 }
 
 TEST(ParallelDeterminism, CleanBitIdenticalAcrossThreadCounts) {

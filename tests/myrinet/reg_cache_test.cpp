@@ -1,0 +1,186 @@
+// Unit tests for the registration (pin-down) cache. The cache is pure
+// bookkeeping over addresses — it never dereferences them — so the tests
+// drive it with synthetic page-aligned addresses and assert the exact
+// hit/miss/evict/coalesce sequences and the modeled costs.
+#include "myrinet/reg_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace fmx::net {
+namespace {
+
+constexpr std::size_t kPage = 4096;
+
+const void* at(std::uintptr_t a) { return reinterpret_cast<const void*>(a); }
+
+RegCacheParams params(std::size_t capacity_pages) {
+  RegCacheParams p;
+  p.capacity_bytes = capacity_pages * kPage;
+  p.page_bytes = kPage;
+  return p;
+}
+
+TEST(RegCache, MissPinsThenHitIsLookupOnly) {
+  RegCache rc(params(64));
+  const auto& p = rc.params();
+
+  auto a = rc.acquire(at(0x10000), kPage);
+  EXPECT_FALSE(a.hit);
+  EXPECT_EQ(a.cost, p.lookup + p.pin_base + p.pin_per_page);
+  EXPECT_EQ(rc.stats().misses, 1u);
+  EXPECT_EQ(rc.stats().pinned_bytes, kPage);
+
+  auto b = rc.acquire(at(0x10000), kPage);
+  EXPECT_TRUE(b.hit);
+  EXPECT_EQ(b.cost, p.lookup);  // no pin work on a covering hit
+  EXPECT_EQ(rc.stats().hits, 1u);
+  EXPECT_EQ(rc.active_uses(), 2u);
+
+  rc.release(a.handle);
+  rc.release(b.handle);
+  EXPECT_EQ(rc.active_uses(), 0u);
+  // Entry stays cached (and pinned) at zero uses — that is the point.
+  EXPECT_EQ(rc.stats().regions, 1u);
+  EXPECT_EQ(rc.stats().pinned_bytes, kPage);
+}
+
+TEST(RegCache, RangesRoundOutToPageBoundaries) {
+  RegCache rc(params(64));
+  // 0x20 bytes straddling a page boundary pins both pages.
+  auto a = rc.acquire(at(0x10000 + kPage - 0x10), 0x20);
+  EXPECT_EQ(rc.stats().pinned_bytes, 2 * kPage);
+  // A zero-length acquire still registers (one page).
+  auto b = rc.acquire(at(0x40000), 0);
+  EXPECT_FALSE(b.hit);
+  EXPECT_EQ(rc.stats().pinned_bytes, 3 * kPage);
+  // Any sub-range of an already-pinned page is a hit.
+  auto c = rc.acquire(at(0x10000 + kPage + 1), 4);
+  EXPECT_TRUE(c.hit);
+  rc.release(a.handle);
+  rc.release(b.handle);
+  rc.release(c.handle);
+}
+
+TEST(RegCache, BufferReuseMissesOnceAcrossMessageStream) {
+  // The large-message pattern the cache exists for: a small set of user
+  // buffers cycles through many rendezvous sends. Each buffer pays its pin
+  // exactly once; every later message is a lookup.
+  RegCache rc(params(64));
+  constexpr std::size_t kBuf = 8 * kPage;
+  constexpr int kBuffers = 4;
+  constexpr int kRounds = 25;
+  for (int r = 0; r < kRounds; ++r) {
+    for (int b = 0; b < kBuffers; ++b) {
+      auto h = rc.acquire(at(0x100000 + b * 0x100000), kBuf);
+      EXPECT_EQ(h.hit, r != 0) << "round " << r << " buffer " << b;
+      rc.release(h.handle);
+    }
+  }
+  EXPECT_EQ(rc.stats().misses, static_cast<std::uint64_t>(kBuffers));
+  EXPECT_EQ(rc.stats().hits,
+            static_cast<std::uint64_t>(kBuffers * (kRounds - 1)));
+  EXPECT_EQ(rc.stats().evictions, 0u);
+  EXPECT_EQ(rc.stats().pinned_bytes, kBuffers * kBuf);
+  EXPECT_EQ(rc.active_uses(), 0u);
+}
+
+TEST(RegCache, LruEvictionUnderCapacityPressure) {
+  RegCache rc(params(2));  // room for two one-page regions
+
+  auto a = rc.acquire(at(0x10000), kPage);
+  rc.release(a.handle);
+  auto b = rc.acquire(at(0x20000), kPage);
+  rc.release(b.handle);
+  // Touch A so B becomes the LRU idle region.
+  auto a2 = rc.acquire(at(0x10000), kPage);
+  rc.release(a2.handle);
+
+  auto c = rc.acquire(at(0x30000), kPage);
+  EXPECT_EQ(rc.stats().evictions, 1u);
+  EXPECT_EQ(rc.stats().regions, 2u);
+  EXPECT_EQ(rc.stats().pinned_bytes, 2 * kPage);
+  const auto& p = rc.params();
+  EXPECT_EQ(c.cost, p.lookup + p.pin_base + p.pin_per_page + p.unpin_per_page);
+
+  // A survived (recently touched) ...
+  EXPECT_TRUE(rc.acquire(at(0x10000), kPage).hit);
+  // ... B was the victim: re-registering it is a fresh miss.
+  EXPECT_FALSE(rc.acquire(at(0x20000), kPage).hit);
+}
+
+TEST(RegCache, InUseRegionsAreNeverEvicted) {
+  RegCache rc(params(1));
+  auto a = rc.acquire(at(0x10000), kPage);
+  auto b = rc.acquire(at(0x20000), kPage);  // over budget, but both in use
+  EXPECT_EQ(rc.stats().evictions, 0u);
+  EXPECT_EQ(rc.stats().pinned_bytes, 2 * kPage);
+  EXPECT_EQ(rc.stats().regions, 2u);
+
+  // Once idle, capacity pressure from the next acquire reclaims them.
+  rc.release(a.handle);
+  rc.release(b.handle);
+  auto c = rc.acquire(at(0x30000), kPage);
+  EXPECT_EQ(rc.stats().evictions, 2u);
+  EXPECT_EQ(rc.stats().pinned_bytes, kPage);
+  rc.release(c.handle);
+}
+
+TEST(RegCache, OverlappingAcquireCoalescesAndOldHandlesStayValid) {
+  RegCache rc(params(64));
+  auto a = rc.acquire(at(0x10000), kPage);            // [0x10000, 0x11000)
+  auto b = rc.acquire(at(0x12000), kPage);            // [0x12000, 0x13000)
+  EXPECT_EQ(rc.stats().regions, 2u);
+
+  // Spans the gap: absorbs both neighbours into one region, pinning only
+  // the one uncovered page in the middle.
+  const auto& p = rc.params();
+  auto c = rc.acquire(at(0x10800), 0x2000);           // [0x10800, 0x12800)
+  EXPECT_FALSE(c.hit);
+  EXPECT_EQ(c.cost, p.lookup + p.pin_base + p.pin_per_page);
+  EXPECT_EQ(rc.stats().coalesces, 2u);
+  EXPECT_EQ(rc.stats().regions, 1u);
+  EXPECT_EQ(rc.stats().pinned_bytes, 3 * kPage);
+  EXPECT_EQ(rc.active_uses(), 3u);
+
+  // The merged region covers everything the originals did.
+  auto probe = rc.acquire(at(0x10000), 3 * kPage);
+  EXPECT_TRUE(probe.hit);
+  rc.release(probe.handle);
+
+  // Handles issued before the merge release against the surviving region.
+  rc.release(a.handle);
+  rc.release(b.handle);
+  rc.release(c.handle);
+  EXPECT_EQ(rc.active_uses(), 0u);
+}
+
+TEST(RegCache, AbuttingRegionsMergeOnRegistration) {
+  RegCache rc(params(64));
+  auto a = rc.acquire(at(0x10000), kPage);
+  auto b = rc.acquire(at(0x11000), kPage);  // abuts, does not overlap
+  EXPECT_EQ(rc.stats().coalesces, 1u);
+  EXPECT_EQ(rc.stats().regions, 1u);
+  EXPECT_EQ(rc.stats().pinned_bytes, 2 * kPage);
+  EXPECT_TRUE(rc.acquire(at(0x10000), 2 * kPage).hit);
+  rc.release(a.handle);
+  rc.release(b.handle);
+}
+
+TEST(RegCache, EvictionCostScalesWithUnpinnedPages) {
+  RegCache rc(params(4));
+  auto a = rc.acquire(at(0x10000), 4 * kPage);
+  rc.release(a.handle);
+  const auto& p = rc.params();
+  // Next registration must unpin all four pages of the idle victim.
+  auto b = rc.acquire(at(0x80000), kPage);
+  EXPECT_EQ(b.cost,
+            p.lookup + p.pin_base + p.pin_per_page + 4 * p.unpin_per_page);
+  EXPECT_EQ(rc.stats().evictions, 1u);
+  rc.release(b.handle);
+}
+
+}  // namespace
+}  // namespace fmx::net
