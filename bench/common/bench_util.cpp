@@ -236,12 +236,15 @@ void print_breakdown_rows(
     const std::vector<std::pair<std::string, trace::BreakdownSummary>>&
         rows) {
   std::printf("%s\n", title.c_str());
-  std::printf("  %-18s %6s %9s %9s %9s %10s %9s\n", "stack", "msgs",
-              "host us", "wire us", "queue us", "handler us", "total us");
+  std::printf("  %-18s %6s %9s %9s %9s %10s %9s %9s %9s %9s\n", "stack",
+              "msgs", "host us", "wire us", "queue us", "handler us",
+              "total us", "p50 us", "p99 us", "p999 us");
   for (const auto& [label, s] : rows) {
-    std::printf("  %-18s %6llu %9.3f %9.3f %9.3f %10.3f %9.3f\n",
-                label.c_str(), static_cast<unsigned long long>(s.messages),
-                s.host_us, s.wire_us, s.queue_us, s.handler_us, s.total_us);
+    std::printf(
+        "  %-18s %6llu %9.3f %9.3f %9.3f %10.3f %9.3f %9.3f %9.3f %9.3f\n",
+        label.c_str(), static_cast<unsigned long long>(s.messages), s.host_us,
+        s.wire_us, s.queue_us, s.handler_us, s.total_us, s.total_p50_us,
+        s.total_p99_us, s.total_p999_us);
   }
 }
 

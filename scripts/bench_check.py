@@ -41,6 +41,18 @@ are exact:
     simulated time is machine-independent, so any drift is a real
     protocol-cost change that needs a deliberate baseline update.
 
+Fabric gate (--fabric-binary): runs `fabric_scale` on a reduced fat-tree
+(default 128 hosts, 64 flows/host, 1 and 2 worker threads) and checks the
+datacenter-scale traffic engine invariants:
+  - the completion digest must be identical at every thread count and the
+    wave must complete every scheduled flow,
+  - steady-state allocs/event is pinned at exactly --fabric-max-allocs
+    (default 0): the measured wave replays a schedule the warmup wave
+    already sized every pool for,
+  - every reported latency layer (src_queue/transit/deliver/handler/e2e)
+    must carry observations and finite p50/p99/p999 — a NaN/missing tail
+    means the histogram plumbing broke, which digests alone cannot see.
+
 Wall-clock numbers are machine-dependent, so the absolute gates are
 deliberately loose: they catch "someone reintroduced a per-event
 allocation or an accidental O(n) queue", not single-digit-percent noise.
@@ -53,6 +65,8 @@ Usage:
       [--max-shard-tax 5.0]
   scripts/bench_check.py --rendezvous-binary build/bench/rendezvous_crossover \
       [--rendezvous-baseline BENCH_rendezvous.json]
+  scripts/bench_check.py --fabric-binary build/bench/fabric_scale \
+      [--fabric-hosts 128] [--fabric-flows 64] [--fabric-max-allocs 0]
 
 Exit status: 0 ok, 1 regression, 2 usage/environment error.
 """
@@ -290,6 +304,64 @@ def check_rendezvous(args) -> bool:
     return ok
 
 
+def check_fabric(args) -> bool:
+    import math
+    out_json = os.path.join(tempfile.mkdtemp(prefix="bench_check_fab_"),
+                            "fabric.json")
+    cmd = [args.fabric_binary, "--hosts", str(args.fabric_hosts),
+           "--flows-per-host", str(args.fabric_flows),
+           "--shards", "4", "--threads", "1,2", "--out", out_json]
+    # The bench itself exits non-zero on digest divergence; capture that as
+    # a regression rather than a harness error.
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE)
+    with open(out_json) as f:
+        cur = json.load(f)
+
+    ok = True
+    if proc.returncode != 0 or not cur.get("digest_ok", False):
+        print("bench_check: REGRESSION: fabric traffic digest diverged "
+              "across thread counts (or a wave left flows incomplete)",
+              file=sys.stderr)
+        ok = False
+
+    for row in cur.get("threads", []):
+        allocs = row["allocs_per_event"]
+        print(f"bench_check: fabric {row['threads']}t "
+              f"{row['events_per_sec']:,.0f} events/sec, "
+              f"allocs/event {allocs:.6f}, digest {row['digest']}")
+        if allocs > args.fabric_max_allocs:
+            print(f"bench_check: REGRESSION: steady-state allocations in "
+                  f"the fabric traffic wave at {row['threads']} threads "
+                  f"(must be exactly {args.fabric_max_allocs:g})",
+                  file=sys.stderr)
+            ok = False
+
+    total = cur.get("total_flows", 0)
+    layers = {l["layer"]: l for l in cur.get("layers", [])}
+    for name in ("src_queue", "transit", "deliver", "handler", "e2e"):
+        lay = layers.get(name)
+        if lay is None:
+            print(f"bench_check: REGRESSION: fabric layer {name!r} missing "
+                  f"from the quantile report", file=sys.stderr)
+            ok = False
+            continue
+        p50, p99, p999 = lay["p50_us"], lay["p99_us"], lay["p999_us"]
+        print(f"bench_check: fabric {name:9s} n={lay['count']} "
+              f"p50 {p50:.3f} us, p99 {p99:.3f} us, p999 {p999:.3f} us")
+        if lay["count"] != total or total == 0:
+            print(f"bench_check: REGRESSION: fabric layer {name!r} saw "
+                  f"{lay['count']} observations, expected {total}",
+                  file=sys.stderr)
+            ok = False
+        if not all(math.isfinite(v) for v in (p50, p99, p999)) \
+                or p999 < p99 or p99 < p50 or p50 < 0:
+            print(f"bench_check: REGRESSION: fabric layer {name!r} "
+                  f"quantiles are non-finite or non-monotone",
+                  file=sys.stderr)
+            ok = False
+    return ok
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--binary",
@@ -307,6 +379,18 @@ def main() -> int:
     ap.add_argument("--rendezvous-baseline", default="BENCH_rendezvous.json",
                     help="committed rendezvous baseline JSON "
                          "(default: %(default)s)")
+    ap.add_argument("--fabric-binary",
+                    help="path to the fabric_scale executable")
+    ap.add_argument("--fabric-hosts", type=int, default=128,
+                    help="fat-tree size for the fabric gate "
+                         "(default: %(default)s)")
+    ap.add_argument("--fabric-flows", type=int, default=64,
+                    help="flows per host in the fabric gate "
+                         "(default: %(default)s)")
+    ap.add_argument("--fabric-max-allocs", type=float, default=0.0,
+                    help="max allocs/event in the fabric gate — the "
+                         "measured wave is allocation-free after warmup, "
+                         "so the pin is exact (default: %(default)s)")
     ap.add_argument("--factor", type=float, default=2.0,
                     help="max tolerated slowdown vs baseline "
                          "(default: %(default)s)")
@@ -336,9 +420,9 @@ def main() -> int:
     args = ap.parse_args()
 
     if not args.binary and not args.parallel_binary \
-            and not args.rendezvous_binary:
-        print("bench_check: need --binary, --parallel-binary and/or "
-              "--rendezvous-binary", file=sys.stderr)
+            and not args.rendezvous_binary and not args.fabric_binary:
+        print("bench_check: need --binary, --parallel-binary, "
+              "--rendezvous-binary and/or --fabric-binary", file=sys.stderr)
         return 2
 
     ok = True
@@ -363,6 +447,8 @@ def main() -> int:
                       file=sys.stderr)
                 return 2
             ok = check_rendezvous(args) and ok
+        if args.fabric_binary:
+            ok = check_fabric(args) and ok
     except (OSError, subprocess.CalledProcessError, json.JSONDecodeError,
             KeyError) as e:
         print(f"bench_check: failed: {e}", file=sys.stderr)

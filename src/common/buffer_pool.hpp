@@ -36,7 +36,13 @@ class BufferPool {
     std::uint64_t free_high = 0;
   };
 
-  BufferPool() = default;
+  /// `retain_bytes_per_class` is the byte budget each size class may park
+  /// (see release()). The default fits paper-scale clusters; thousand-host
+  /// fabrics raise it so their much larger live-buffer high water still
+  /// comes home to the pool instead of the allocator.
+  explicit BufferPool(
+      std::size_t retain_bytes_per_class = kDefaultRetainBytesPerClass)
+      : retain_bytes_per_class_(retain_bytes_per_class) {}
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
   ~BufferPool();
@@ -78,17 +84,20 @@ class BufferPool {
   static constexpr std::size_t kMaxClassLog2 = 20;
   static constexpr std::size_t kClasses = kMaxClassLog2 - kMinClassLog2 + 1;
   static constexpr std::size_t kRetainPerClass = 64;  // floor, any class
-  static constexpr std::size_t kRetainBytesPerClass = std::size_t{4} << 20;
+  static constexpr std::size_t kDefaultRetainBytesPerClass =
+      std::size_t{4} << 20;
 
   static std::size_t class_for_request(std::size_t n) noexcept;
   static std::size_t class_for_capacity(std::size_t cap) noexcept;
   /// Max buffers parked in class `cls`: the byte budget divided by the
   /// class capacity, floored at kRetainPerClass.
-  static std::size_t retain_limit(std::size_t cls) noexcept {
-    const std::size_t by_bytes = kRetainBytesPerClass >> (cls + kMinClassLog2);
+  std::size_t retain_limit(std::size_t cls) const noexcept {
+    const std::size_t by_bytes =
+        retain_bytes_per_class_ >> (cls + kMinClassLog2);
     return by_bytes > kRetainPerClass ? by_bytes : kRetainPerClass;
   }
 
+  std::size_t retain_bytes_per_class_ = kDefaultRetainBytesPerClass;
   std::array<std::vector<Bytes>, kClasses> free_;
   std::array<std::vector<detail::BlockHeader*>, kClasses> free_blocks_;
   Stats stats_;

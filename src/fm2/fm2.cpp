@@ -43,6 +43,7 @@ void RecvStream::Awaiter::await_resume() { s.req_.reset(); }
 
 void RecvStream::feed(net::RxPacket pkt) {
   std::size_t data = pkt.payload.size() - kHdr;
+  if (fed_ == 0) first_arrival_ = pkt.arrived;
   fed_ += data;
   if (data == 0) {
     pkt.payload.reset();

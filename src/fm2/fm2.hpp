@@ -111,6 +111,10 @@ class RecvStream {
   std::size_t remaining() const noexcept { return msg_bytes_ - consumed_; }
   /// Bytes queued and immediately consumable without suspending.
   std::size_t available() const noexcept { return queued_; }
+  /// Fabric arrival time of this message's first packet (wire timestamp,
+  /// before any receive-queue wait). Lets handlers split end-to-end latency
+  /// into transit vs. delivery/handler components. 0 until fed.
+  sim::Ps first_arrival() const noexcept { return first_arrival_; }
 
  private:
   friend class Endpoint;
@@ -140,6 +144,7 @@ class RecvStream {
     seq_ = seq;
     consumed_ = fed_ = queued_ = 0;
     head_off_ = 0;
+    first_arrival_ = 0;
     req_.reset();
     waiting_ = {};
   }
@@ -152,6 +157,7 @@ class RecvStream {
   std::size_t consumed_ = 0;  // handler-consumed + skipped bytes
   std::size_t fed_ = 0;       // message bytes that have been fed
   std::size_t queued_ = 0;    // fed - consumed (bytes sitting in q_)
+  sim::Ps first_arrival_ = 0;  // fabric arrival of the first fed packet
   sim::RingQueue<net::RxPacket> q_;  // payloads already header-stripped
   std::size_t head_off_ = 0;  // consumed offset within q_.front() payload
   std::optional<Request> req_;

@@ -7,22 +7,17 @@
 namespace fmx::net {
 
 Fabric::Fabric(sim::Engine& eng, const FabricParams& p, int n_hosts)
-    : eng_(eng), p_(p), n_hosts_(n_hosts) {
+    : eng_(eng), p_(p), n_hosts_(n_hosts), topo_(p, n_hosts) {
   assert(n_hosts >= 1);
-  n_switches_ = (n_hosts + p_.hosts_per_switch - 1) / p_.hosts_per_switch;
-  up_.reserve(n_hosts);
-  down_.reserve(n_hosts);
-  for (int h = 0; h < n_hosts; ++h) {
-    // Uplink latency includes the switch's routing decision on entry.
-    up_.push_back(
-        std::make_unique<Link>(eng_, p_.link_latency + p_.switch_latency));
-    down_.push_back(std::make_unique<Link>(eng_, p_.link_latency));
-  }
-  for (int s = 0; s + 1 < n_switches_; ++s) {
-    right_.push_back(
-        std::make_unique<Link>(eng_, p_.link_latency + p_.switch_latency));
-    left_.push_back(
-        std::make_unique<Link>(eng_, p_.link_latency + p_.switch_latency));
+  // One serial resource per directed link id. Uplinks and transit links
+  // cost flight plus the routing decision at the switch they enter; the
+  // final downlink is pure flight (the decision was paid on entry).
+  links_.reserve(static_cast<std::size_t>(topo_.n_links()));
+  for (int l = 0; l < topo_.n_links(); ++l) {
+    const sim::Ps lat = topo_.is_downlink(l)
+                            ? p_.link_latency
+                            : p_.link_latency + p_.switch_latency;
+    links_.push_back(std::make_unique<Link>(eng_, lat));
   }
   endpoints_.resize(n_hosts);
   // Park slots recycle through free_parked_, so the vector only grows to
@@ -43,37 +38,18 @@ std::size_t Fabric::wire_bytes(std::size_t payload) const {
   return p_.frame_overhead + payload + p_.crc_bytes;
 }
 
-int Fabric::hops(int src, int dst) const {
-  if (src == dst) return 0;
-  return 1 + std::abs(switch_of(src) - switch_of(dst));
-}
-
-const std::vector<Fabric::Link*>& Fabric::route(int src, int dst) {
-  std::vector<Link*>& path = route_scratch_;
-  path.clear();
-  path.push_back(up_[src].get());
-  int s = switch_of(src);
-  int t = switch_of(dst);
-  while (s < t) {
-    path.push_back(right_[s].get());
-    ++s;
-  }
-  while (s > t) {
-    path.push_back(left_[s - 1].get());
-    --s;
-  }
-  path.push_back(down_[dst].get());
-  return path;
-}
-
 sim::Ps Fabric::zero_load_latency(int src, int dst,
                                   std::size_t payload) const {
   sim::Ps ser = static_cast<sim::Ps>(
       p_.link_ps_per_byte * static_cast<double>(wire_bytes(payload)));
   if (src == dst) return p_.switch_latency + ser;
-  sim::Ps lat = up_[src]->latency + down_[dst]->latency;
-  int inter = std::abs(switch_of(src) - switch_of(dst));
-  lat += static_cast<sim::Ps>(inter) * (p_.link_latency + p_.switch_latency);
+  // Sum of per-link propagation on the path; every ECMP path of a pair has
+  // the same hop mix, so flow 0 is representative.
+  sim::Ps lat = 0;
+  const int len = topo_.path_len(src, dst);
+  for (int i = 0; i < len; ++i) {
+    lat += links_[topo_.link_at(src, dst, 0, i)]->latency;
+  }
   return lat + ser;  // cut-through: one serialization end to end
 }
 
@@ -176,12 +152,12 @@ sim::Task<void> Fabric::transmit(WirePacket pkt) {
                    pkt.trace_id,
                    static_cast<std::uint64_t>(hops(pkt.src, pkt.dst)));
     const sim::Ps ser = ser_time(pkt);
-    const auto& path = route(pkt.src, pkt.dst);
+    const int len = topo_.path_len(pkt.src, pkt.dst);
     sim::Ps head = eng_.now();
     sim::Ps tail_done = eng_.now();
     sim::Ps uplink_done = 0;
-    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-      Link* l = path[i];
+    for (int i = 0; i + 1 < len; ++i) {
+      Link* l = links_[topo_.link_at(pkt.src, pkt.dst, pkt.flow, i)].get();
       tail_done = l->ser.reserve_from(head, ser);
       head = (tail_done - ser) + l->latency;
       if (i == 0) uplink_done = tail_done;
@@ -208,20 +184,24 @@ sim::Task<void> Fabric::transmit(WirePacket pkt) {
   }
 
   const sim::Ps ser = ser_time(pkt);
-  const auto& path = route(pkt.src, pkt.dst);
+  const int len = topo_.path_len(pkt.src, pkt.dst);
 
   // Cut-through reservation: on each link, start when the head arrives and
-  // the link is free; the head moves on after the link's latency.
+  // the link is free; the head moves on after the link's latency. Link ids
+  // come straight out of the topology's route tables — O(1) per hop, no
+  // shared path buffer, so interleaved transmits can never alias.
   sim::Ps head = eng_.now();
   sim::Ps tail_done = eng_.now();
   sim::Ps uplink_done = 0;
-  for (std::size_t i = 0; i < path.size(); ++i) {
-    Link* l = path[i];
+  sim::Ps last_latency = 0;
+  for (int i = 0; i < len; ++i) {
+    Link* l = links_[topo_.link_at(pkt.src, pkt.dst, pkt.flow, i)].get();
     tail_done = l->ser.reserve_from(head, ser);
     head = (tail_done - ser) + l->latency;
     if (i == 0) uplink_done = tail_done;
+    last_latency = l->latency;
   }
-  sim::Ps arrival = tail_done + path.back()->latency;
+  sim::Ps arrival = tail_done + last_latency;
 
   eng_.spawn_daemon(deliver(std::move(pkt), arrival));
   // The sender NIC is occupied until its uplink finishes serializing.
@@ -232,10 +212,15 @@ sim::Task<void> Fabric::transmit(WirePacket pkt) {
 // Parallel (sharded) execution
 
 void Fabric::set_parallel(CrossShardPort* port,
-                          const std::int32_t* shard_of_node, int my_shard) {
+                          const std::int32_t* shard_of_node, int my_shard,
+                          std::size_t parked_hint) {
   port_ = port;
   shard_of_node_ = shard_of_node;
   my_shard_ = my_shard;
+  if (parked_hint > parked_.capacity()) {
+    parked_.reserve(parked_hint);
+    free_parked_.reserve(parked_hint);
+  }
   // Namespace wire sequence numbers by shard so they stay cluster-unique
   // (they are debug/trace metadata; 48 bits of local counter is plenty).
   next_seq_ = static_cast<std::uint64_t>(my_shard) << 48;
@@ -271,7 +256,7 @@ void Fabric::launch_remote(std::uint32_t idx) {
 // back-pressure, and deliver when the tail has propagated.
 sim::Task<void> Fabric::deliver_remote(WirePacket pkt, sim::Ps head) {
   const sim::Ps ser = ser_time(pkt);
-  Link* dn = down_[pkt.dst].get();
+  Link* dn = links_[topo_.downlink(pkt.dst)].get();
   const sim::Ps tail_done = dn->ser.reserve_from(head, ser);
   const sim::Ps arrival = tail_done + dn->latency;
   auto& ep = endpoints_[pkt.dst];

@@ -1,6 +1,9 @@
 // Myrinet-style switch fabric: source-routed, cut-through, no buffering in
-// the network, link-level back-pressure. Hosts hang off crossbar switches
-// (hosts_per_switch each); switches are chained for larger clusters.
+// the network, link-level back-pressure. The switch geometry — chained
+// crossbars or a k-ary fat-tree/Clos with ECMP multipath — lives in
+// myrinet/topo.hpp; the Fabric holds one FIFO serial resource per directed
+// link id and walks the topology's precomputed route tables at transmit
+// time (O(1) per hop, no shared scratch path).
 //
 // Modeling approach: each directed link is a FIFO serial resource. A packet
 // reserves every link on its path at injection time; on link i it may start
@@ -19,6 +22,7 @@
 #include "myrinet/fault_hooks.hpp"
 #include "myrinet/packet.hpp"
 #include "myrinet/params.hpp"
+#include "myrinet/topo.hpp"
 #include "sim/channel.hpp"
 #include "sim/engine.hpp"
 #include "sim/random.hpp"
@@ -56,10 +60,17 @@ class Fabric {
 
   /// Bytes a payload occupies on the wire (framing + route + CRC).
   std::size_t wire_bytes(std::size_t payload) const;
-  /// Number of switch hops between two hosts.
-  int hops(int src, int dst) const;
+  /// Number of switch hops between two hosts (equal on every ECMP path).
+  int hops(int src, int dst) const { return topo_.hops(src, dst); }
   /// Zero-load one-way wire latency for a payload of the given size.
   sim::Ps zero_load_latency(int src, int dst, std::size_t payload) const;
+  /// Routing geometry (hop counts, ECMP path enumeration, link levels).
+  const Topo& topo() const noexcept { return topo_; }
+  /// Link-id path a flow takes — a fresh vector per call, so interleaved
+  /// queries never alias (regression coverage for the old route() scratch).
+  std::vector<int> path_of(int src, int dst, std::uint32_t flow) const {
+    return topo_.path(src, dst, flow);
+  }
 
   struct Stats {
     std::uint64_t packets = 0;
@@ -106,15 +117,18 @@ class Fabric {
   /// streams, its uplink is reserved microseconds ahead, which is what lets
   /// peer shards batch far past the static one-hop lookahead.
   sim::Ps uplink_free(int host) const noexcept {
-    return up_[host]->ser.next_free();
+    return links_[topo_.uplink(host)]->ser.next_free();
   }
 
   /// Make this fabric one shard's replica of the cluster fabric.
   /// `shard_of_node` maps node id -> owning shard (must outlive the
   /// fabric); packets to non-local destinations go out through `port`, and
   /// wire_seq values are namespaced by shard so they stay cluster-unique.
+  /// `parked_hint` pre-sizes the remote-arrival parking lot: the cluster
+  /// passes its per-shard drain peak so a deep cross-ring batch never grows
+  /// the vector mid-measurement.
   void set_parallel(CrossShardPort* port, const std::int32_t* shard_of_node,
-                    int my_shard);
+                    int my_shard, std::size_t parked_hint = 256);
 
   /// Entry point for a packet emitted by a peer shard's replica: schedules
   /// its delivery (downlink reservation, destination SRAM back-pressure,
@@ -133,11 +147,6 @@ class Fabric {
     sim::Semaphore* slack = nullptr;
   };
 
-  int switch_of(int host) const { return host / p_.hosts_per_switch; }
-  /// Fills route_scratch_ with the link path src -> dst and returns it.
-  /// Valid until the next route() call; transmit() uses it without
-  /// suspending, so concurrent transmits never see each other's path.
-  const std::vector<Link*>& route(int src, int dst);
   sim::Task<void> deliver(WirePacket pkt, sim::Ps at);
   sim::Task<void> deliver_body(WirePacket pkt);
   sim::Task<void> deliver_remote(WirePacket pkt, sim::Ps head);
@@ -155,14 +164,10 @@ class Fabric {
   sim::Engine& eng_;
   FabricParams p_;
   int n_hosts_;
-  int n_switches_;
-  std::vector<std::unique_ptr<Link>> up_;     // host -> its switch
-  std::vector<std::unique_ptr<Link>> down_;   // switch -> host
-  std::vector<std::unique_ptr<Link>> right_;  // switch s -> s+1
-  std::vector<std::unique_ptr<Link>> left_;   // switch s+1 -> s
+  Topo topo_;
+  std::vector<std::unique_ptr<Link>> links_;  // indexed by Topo link id
   std::vector<Endpoint> endpoints_;
-  std::vector<Link*> route_scratch_;
-  BufferPool pool_;
+  BufferPool pool_{p_.pool_retain_bytes_per_class};
   FaultInjector* fault_ = nullptr;
   trace::Tracer tracer_{eng_};
   Stats stats_;

@@ -55,6 +55,7 @@ sim::Task<void> Nic::tx_inject_program() {
     pkt.kind = d.kind;
     pkt.rkey = d.rkey;
     pkt.rdma_offset = d.rdma_offset;
+    pkt.flow = d.flow;
     if (p_.reliable_link) {
       PeerTx& pt = tx_peers_[d.dst];
       while (pt.retained.size() >=

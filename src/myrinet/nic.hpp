@@ -54,6 +54,8 @@ struct SendDescriptor {
   PacketKind kind = PacketKind::kData;
   std::uint32_t rkey = 0;
   std::uint32_t rdma_offset = 0;
+  /// ECMP flow label, threaded onto the WirePacket (see packet.hpp).
+  std::uint32_t flow = 0;
 };
 
 class Nic {

@@ -49,6 +49,14 @@ struct WirePacket {
   std::uint32_t rkey = 0;         ///< destination registration handle
   std::uint32_t rdma_offset = 0;  ///< byte offset into the registered buffer
 
+  /// ECMP flow label: multipath topologies hash (src, dst, flow) to pick
+  /// among equal-cost paths (myrinet/topo.hpp). Flow 0 — the default every
+  /// messaging layer uses — gives each (src, dst) pair one consistent path,
+  /// preserving FM's in-order delivery assumption while still spreading
+  /// distinct pairs across the aggregation/core layers; layers that
+  /// tolerate reordering may vary it per message.
+  std::uint32_t flow = 0;
+
   // Link-level reliability (go-back-N extension; NicParams::reliable_link).
   std::uint32_t link_seq = 0;   ///< per (src,dst) sequence number
   std::uint32_t ack = 0;        ///< cumulative "next expected" for dst->src

@@ -29,10 +29,11 @@ struct CrossMsg {
   std::int32_t dst;
   std::uint32_t rkey;
   std::uint32_t rdma_offset;
+  std::uint32_t flow;  // ECMP flow label (packet.hpp)
   std::uint8_t has_ack;
   std::uint8_t ack_only;
   std::uint8_t kind;  // PacketKind
-  std::uint8_t pad[5];
+  std::uint8_t pad[1];
 };
 static_assert(std::is_trivially_copyable_v<CrossMsg>);
 
@@ -54,6 +55,7 @@ void encode(std::byte* slot, const WirePacket& pkt, sim::Ps head,
   m.kind = static_cast<std::uint8_t>(pkt.kind);
   m.rkey = pkt.rkey;
   m.rdma_offset = pkt.rdma_offset;
+  m.flow = pkt.flow;
   std::memcpy(slot, &m, sizeof(m));
   if (!pkt.payload.empty()) {
     std::memcpy(slot + sizeof(m), pkt.payload.data(), pkt.payload.size());
@@ -77,6 +79,7 @@ void decode(const std::byte* slot, Fabric& dst_fabric) {
   pkt.kind = static_cast<PacketKind>(m.kind);
   pkt.rkey = m.rkey;
   pkt.rdma_offset = m.rdma_offset;
+  pkt.flow = m.flow;
   pkt.payload = dst_fabric.pool().acquire_ref(m.payload_len);
   if (m.payload_len != 0) {
     std::memcpy(pkt.payload.mutable_bytes().data(), slot + sizeof(m),
@@ -100,14 +103,16 @@ std::vector<std::int32_t> make_shard_of(int n_hosts, int k) {
 
 // Per-pair lookahead: the minimum source-side head latency from any host
 // of `src` to any host of `dst`. A cross-shard packet's head reaches the
-// destination shard no earlier than uplink (link + switch-entry routing)
-// plus one (link + switch) per inter-switch hop — the same per-link terms
-// Fabric::transmit reserves, with serialization and contention stripped.
-// Adjacent shards get the classic one-hop 850 ns; shards further down the
-// switch chain synchronize proportionally less often.
+// destination shard no earlier than one (link + switch) per switch hop on
+// its path — the same per-link terms Fabric::transmit reserves, with
+// serialization and contention stripped. Every ECMP path of a fat-tree
+// pair has the same hop count, so hops() is an exact (not just
+// conservative) distance. Adjacent chain shards get the classic one-hop
+// 850 ns; cross-pod fat-tree shards synchronize 5x less often.
 std::vector<sim::Ps> make_lookahead(const ClusterParams& p,
                                     const std::vector<std::int32_t>& shard_of,
                                     int k) {
+  const Topo topo(p.fabric, p.n_hosts);
   const sim::Ps unit = p.fabric.link_latency + p.fabric.switch_latency;
   std::vector<sim::Ps> la(static_cast<std::size_t>(k) * k,
                           std::numeric_limits<sim::Ps>::max());
@@ -116,9 +121,7 @@ std::vector<sim::Ps> make_lookahead(const ClusterParams& p,
       const int sa = shard_of[a];
       const int sb = shard_of[b];
       if (sa == sb) continue;
-      const int inter = std::abs(a / p.fabric.hosts_per_switch -
-                                 b / p.fabric.hosts_per_switch);
-      const sim::Ps v = static_cast<sim::Ps>(1 + inter) * unit;
+      const sim::Ps v = static_cast<sim::Ps>(topo.hops(a, b)) * unit;
       sim::Ps& cell = la[static_cast<std::size_t>(sa) * k + sb];
       if (v < cell) cell = v;
     }
@@ -188,15 +191,14 @@ ParallelCluster::ParallelCluster(const ClusterParams& p, int n_shards)
   // source-side path latency a -> b.
   shard_begin_.assign(n_shards_ + 1, p.n_hosts);
   for (int i = p.n_hosts - 1; i >= 0; --i) shard_begin_[shard_of_[i]] = i;
+  const Topo topo(p.fabric, p.n_hosts);
   const sim::Ps unit = p.fabric.link_latency + p.fabric.switch_latency;
   sl_host_.assign(static_cast<std::size_t>(p.n_hosts) * n_shards_,
                   std::numeric_limits<sim::Ps>::max());
   for (int a = 0; a < p.n_hosts; ++a) {
     for (int b = 0; b < p.n_hosts; ++b) {
       if (shard_of_[b] == shard_of_[a]) continue;
-      const int inter = std::abs(a / p.fabric.hosts_per_switch -
-                                 b / p.fabric.hosts_per_switch);
-      const sim::Ps v = static_cast<sim::Ps>(1 + inter) * unit;
+      const sim::Ps v = static_cast<sim::Ps>(topo.hops(a, b)) * unit;
       sim::Ps& cell =
           sl_host_[static_cast<std::size_t>(a) * n_shards_ + shard_of_[b]];
       if (v < cell) cell = v;
@@ -234,7 +236,8 @@ ParallelCluster::ParallelCluster(const ClusterParams& p, int n_shards)
     fabrics_.push_back(
         std::make_unique<Fabric>(par_.shard(s), p.fabric, p.n_hosts));
     ports_.push_back(std::make_unique<Port>(this, s));
-    fabrics_[s]->set_parallel(ports_[s].get(), shard_of_.data(), s);
+    fabrics_[s]->set_parallel(ports_[s].get(), shard_of_.data(), s,
+                              drain_peak);
     par_.set_drain(s, [this, s] { drain_into(s); });
     par_.set_emission_bound(
         s, [this, s](sim::Ps e, sim::Ps* out) { emission_bound(s, e, out); });

@@ -80,6 +80,12 @@ struct NicParams {
   Ps ack_delay = sim::us(5);        ///< ack coalescing window
 };
 
+/// Switch interconnection pattern; geometry lives in myrinet/topo.hpp.
+enum class TopologyKind : std::uint8_t {
+  kChain = 0,    ///< crossbars of hosts_per_switch ports, chained
+  kFatTree = 1,  ///< 3-level k-ary fat-tree/Clos (fat_tree_radix ports)
+};
+
 /// Physical link + switch fabric.
 struct FabricParams {
   double link_ps_per_byte = 12'500;   ///< 12.5 ns/B = 80 MB/s per link
@@ -93,6 +99,21 @@ struct FabricParams {
   std::size_t rdma_hdr_bytes = 16;
   int hosts_per_switch = 8;           ///< larger clusters chain switches
   double bit_error_rate = 0.0;        ///< per-bit corruption probability
+
+  TopologyKind topology = TopologyKind::kChain;
+  /// Fat-tree switch radix k (even): k pods, k/2 edge + k/2 aggregation
+  /// switches per pod, (k/2)^2 cores. k=16 hosts 1024 at oversubscription 1.
+  int fat_tree_radix = 8;
+  /// Hosts per edge-switch = (k/2) * oversubscription: o hosts contend for
+  /// each edge uplink, so o:1 fan-in saturates at 1/o of the host rate —
+  /// the severity dial for incast experiments.
+  int oversubscription = 1;
+
+  /// Per-size-class byte budget the cluster buffer pool retains (see
+  /// common/buffer_pool.hpp). The 4 MiB default fits the paper-scale
+  /// presets; thousand-host runs raise it so the steady-state data path
+  /// stays off the allocator at their much larger live-buffer high water.
+  std::size_t pool_retain_bytes_per_class = std::size_t{4} << 20;
 };
 
 struct ClusterParams {
@@ -113,5 +134,11 @@ ClusterParams sparc_fm1_cluster(int n_hosts = 2);
 /// Calibration targets (paper §4.2): one-way latency ~11 us, peak ~77 MB/s,
 /// N1/2 < 256 B.
 ClusterParams ppro_fm2_cluster(int n_hosts = 2);
+
+/// Datacenter-style preset: the FM 2.x host/NIC model on a k-ary fat-tree.
+/// Picks the smallest even radix (at the given oversubscription) that
+/// hosts n_hosts, unless `radix` is given explicitly. Defaults otherwise
+/// match ppro_fm2_cluster.
+ClusterParams fat_tree_cluster(int n_hosts, int radix = 0, int oversub = 1);
 
 }  // namespace fmx::net

@@ -2,6 +2,7 @@
 // running above them reproduces the paper's headline numbers; the fits and
 // the measured results are tabulated in EXPERIMENTS.md.
 #include "myrinet/params.hpp"
+#include "myrinet/topo.hpp"
 
 namespace fmx::net {
 
@@ -76,6 +77,18 @@ ClusterParams ppro_fm2_cluster(int n_hosts) {
   p.fabric.link_ps_per_byte = 6'250;
   p.fabric.link_latency = sim::ns(300);
   p.fabric.switch_latency = sim::ns(550);
+  return p;
+}
+
+ClusterParams fat_tree_cluster(int n_hosts, int radix, int oversub) {
+  ClusterParams p = ppro_fm2_cluster(n_hosts);
+  p.fabric.topology = TopologyKind::kFatTree;
+  p.fabric.oversubscription = oversub;
+  if (radix <= 0) {
+    radix = 2;
+    while (Topo::fat_tree_capacity(radix, oversub) < n_hosts) radix += 2;
+  }
+  p.fabric.fat_tree_radix = radix;
   return p;
 }
 

@@ -251,12 +251,14 @@ BreakdownSummary summarize_breakdown(const Tracer& tracer) {
   auto rows = per_message_breakdown(tracer);
   if (rows.empty()) return s;
   double host = 0, wire = 0, queue = 0, handler = 0, total = 0;
+  Histogram totals(latency_bounds_ps());
   for (const MessageBreakdown& r : rows) {
     host += sim::to_us(r.host);
     wire += sim::to_us(r.wire);
     queue += sim::to_us(r.queue);
     handler += sim::to_us(r.handler);
     total += sim::to_us(r.total);
+    totals.observe(static_cast<std::uint64_t>(r.total));
   }
   double n = static_cast<double>(rows.size());
   s.messages = rows.size();
@@ -265,6 +267,9 @@ BreakdownSummary summarize_breakdown(const Tracer& tracer) {
   s.queue_us = queue / n;
   s.handler_us = handler / n;
   s.total_us = total / n;
+  s.total_p50_us = totals.quantile(0.50) / 1e6;
+  s.total_p99_us = totals.quantile(0.99) / 1e6;
+  s.total_p999_us = totals.quantile(0.999) / 1e6;
   return s;
 }
 

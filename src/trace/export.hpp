@@ -52,6 +52,13 @@ struct BreakdownSummary {
   double queue_us = 0;
   double handler_us = 0;
   double total_us = 0;
+  // End-to-end latency quantiles, extracted from a fixed-bucket
+  // trace::Histogram over the per-message totals (bucket-interpolated —
+  // see Histogram::quantile). The tail columns are where contention shows
+  // long before the mean moves.
+  double total_p50_us = 0;
+  double total_p99_us = 0;
+  double total_p999_us = 0;
 };
 
 BreakdownSummary summarize_breakdown(const Tracer& tracer);

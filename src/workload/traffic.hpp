@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "sim/random.hpp"
+#include "sim/time.hpp"
 
 namespace fmx::workload {
 
@@ -43,6 +44,18 @@ class SizeDistribution {
   static SizeDistribution fixed(std::size_t size);
   static SizeDistribution uniform(std::size_t lo, std::size_t hi);
 
+  /// Heavy-tailed families for datacenter-style traffic, discretized into
+  /// half-octave piecewise-uniform buckets with CDF-exact bucket weights
+  /// (so mean() and fraction_at_most() stay analytic).
+  /// Log-uniform over [lo, hi]: every octave carries equal probability —
+  /// the "sizes span four orders of magnitude" shape.
+  static SizeDistribution log_uniform(std::size_t lo, std::size_t hi);
+  /// Bounded Pareto with tail index `alpha` on [lo, hi]: the classic
+  /// mice-and-elephants flow-size model (most flows tiny, most bytes in
+  /// the few huge ones). alpha must be > 0 and != 1.
+  static SizeDistribution bounded_pareto(double alpha, std::size_t lo,
+                                         std::size_t hi);
+
  private:
   std::string name_;
   std::vector<Bucket> buckets_;  // weights normalized to sum 1
@@ -52,5 +65,31 @@ class SizeDistribution {
 /// Draw `n` message sizes (deterministic per seed).
 std::vector<std::size_t> generate_sizes(const SizeDistribution& dist, int n,
                                         std::uint64_t seed);
+
+/// Deterministic open-loop Poisson arrival process: exponential
+/// inter-arrival gaps at `rate_per_sec`, accumulated into absolute
+/// picosecond offsets from 0. Open-loop means the schedule never reacts to
+/// the system under test — arrivals keep coming whether or not earlier
+/// work finished, which is what exposes queueing tails. Same seed, same
+/// schedule, on every platform that implements std::exponential_distribution
+/// identically (one toolchain == one baseline, as with generate_sizes).
+class PoissonArrivals {
+ public:
+  PoissonArrivals(double rate_per_sec, std::uint64_t seed)
+      : mean_gap_ps_(1e12 / rate_per_sec), rng_(seed) {}
+
+  /// Next absolute arrival time (ps); strictly non-decreasing.
+  sim::Ps next() {
+    t_ += rng_.exponential(mean_gap_ps_);
+    return static_cast<sim::Ps>(t_);
+  }
+
+  double mean_gap_ps() const noexcept { return mean_gap_ps_; }
+
+ private:
+  double mean_gap_ps_;
+  double t_ = 0;
+  sim::Rng rng_;
+};
 
 }  // namespace fmx::workload

@@ -69,9 +69,9 @@ TEST(BufferPool, OutstandingHighWaterTracksPeak) {
 }
 
 TEST(BufferPool, RetentionCapDropsBurstExcess) {
-  // Retention is byte-budgeted per class (kRetainBytesPerClass, floored at
-  // kRetainPerClass buffers): a small-class burst parks entirely, while a
-  // large-class burst is trimmed so it can't pin memory forever.
+  // Retention is byte-budgeted per class (kDefaultRetainBytesPerClass,
+  // floored at kRetainPerClass buffers): a small-class burst parks entirely,
+  // while a large-class burst is trimmed so it can't pin memory forever.
   BufferPool pool;
   std::vector<Bytes> held;
   for (int i = 0; i < 80; ++i) held.push_back(pool.acquire(512));

@@ -42,6 +42,84 @@ TEST(Metrics, CountersAndHistograms) {
   EXPECT_EQ(m.find_histogram("x.lat")->count(), 3u);
 }
 
+TEST(Metrics, HistogramQuantilesOnKnownInputs) {
+  // 100 observations 1..100 in buckets {10, 20, ..., 100}: every bucket
+  // holds exactly 10 and interpolation is linear, so quantiles land where
+  // arithmetic says.
+  std::vector<std::uint64_t> bounds;
+  for (std::uint64_t b = 10; b <= 100; b += 10) bounds.push_back(b);
+  trace::Histogram h(bounds);
+  for (std::uint64_t v = 1; v <= 100; ++v) h.observe(v);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+  // p50: rank 50 = end of bucket (40,50]; interpolation gives its upper
+  // edge exactly.
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 50.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 99.0);
+  EXPECT_NEAR(h.quantile(0.999), 100.0, 0.2);
+  // Monotone in q.
+  for (double q = 0.1; q < 1.0; q += 0.1) {
+    EXPECT_LE(h.quantile(q - 0.05), h.quantile(q));
+  }
+}
+
+TEST(Metrics, HistogramQuantileEdgesClampToObservedSupport) {
+  trace::Histogram h({100, 1000, 10000});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty histogram
+  // A single value: every quantile is that value (bucket interpolation
+  // must not leak the bucket's full [lower, upper] width).
+  h.observe(500);
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q), 500.0);
+  }
+  // Overflow bucket: estimates stay within [min, max], never run off to
+  // infinity even though the last bucket has no upper bound.
+  h.observe(50000);
+  h.observe(70000);
+  EXPECT_LE(h.quantile(0.999), 70000.0);
+  EXPECT_GE(h.quantile(0.001), 500.0);
+}
+
+TEST(Metrics, HistogramMergeAndReset) {
+  trace::Histogram a({10, 100}), b({10, 100});
+  a.observe(5);
+  a.observe(50);
+  b.observe(7);
+  b.observe(500);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.sum(), 562u);
+  EXPECT_EQ(a.min(), 5u);
+  EXPECT_EQ(a.max(), 500u);
+  // Merging an empty histogram leaves min/max untouched.
+  trace::Histogram empty({10, 100});
+  a.merge(empty);
+  EXPECT_EQ(a.min(), 5u);
+  EXPECT_EQ(a.max(), 500u);
+
+  a.reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.sum(), 0u);
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), 0.0);
+  a.observe(42);  // usable again, with fresh min/max tracking
+  EXPECT_EQ(a.min(), 42u);
+  EXPECT_EQ(a.max(), 42u);
+}
+
+TEST(Metrics, LatencyBoundsCoverTheSimRange) {
+  const auto bounds = trace::latency_bounds_ps();
+  ASSERT_GT(bounds.size(), 80u);
+  EXPECT_EQ(bounds.front(), 1000u);           // 1 ns
+  EXPECT_GT(bounds.back(), 100'000'000'000u);  // > 100 ms
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_GT(bounds[i], bounds[i - 1]);
+    // 2^(1/4) spacing bounds the worst-case interpolation error.
+    EXPECT_LT(static_cast<double>(bounds[i]) / bounds[i - 1], 1.20);
+  }
+}
+
 TEST(Metrics, ClusterExposesEveryLayerByName) {
   Engine eng;
   net::Cluster cluster(eng, net::ppro_fm2_cluster(2));

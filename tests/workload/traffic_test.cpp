@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace fmx::workload {
 namespace {
 
@@ -71,6 +73,90 @@ TEST(Traffic, FractionAtMostEdges) {
   EXPECT_DOUBLE_EQ(d.fraction_at_most(99), 0.0);
   EXPECT_DOUBLE_EQ(d.fraction_at_most(100), 1.0);
   EXPECT_DOUBLE_EQ(d.fraction_at_most(5000), 1.0);
+}
+
+TEST(Traffic, LogUniformMatchesAnalyticMean) {
+  const double lo = 64, hi = 65536;
+  auto d = SizeDistribution::log_uniform(64, 65536);
+  // Continuous log-uniform mean: (hi - lo) / ln(hi / lo). The half-octave
+  // discretization replaces each bucket's log-uniform mass with a uniform
+  // one, which overestimates by ~1% per bucket at this resolution.
+  const double analytic = (hi - lo) / std::log(hi / lo);
+  EXPECT_NEAR(d.mean() / analytic, 1.0, 0.05);
+  // Bucket weights are CDF-exact, so the octave-boundary CDF is too
+  // (up to the integer-support rounding of bucket edges).
+  EXPECT_NEAR(d.fraction_at_most(2048), std::log(2048.0 / lo) / std::log(hi / lo),
+              0.01);
+  // Equal probability per octave: [64,128) carries the same mass as
+  // [8192,16384) even though the latter is 128x wider.
+  const double low_octave = d.fraction_at_most(127);
+  const double high_octave =
+      d.fraction_at_most(16383) - d.fraction_at_most(8191);
+  EXPECT_NEAR(low_octave, high_octave, 0.02);
+}
+
+TEST(Traffic, BoundedParetoMatchesAnalyticMean) {
+  const double alpha = 1.2, lo = 32, hi = 1 << 20;
+  auto d = SizeDistribution::bounded_pareto(alpha, 32, 1 << 20);
+  // E[X] for a bounded Pareto (alpha != 1).
+  const double analytic = std::pow(lo, alpha) /
+                          (1.0 - std::pow(lo / hi, alpha)) *
+                          (alpha / (alpha - 1.0)) *
+                          (std::pow(lo, 1.0 - alpha) -
+                           std::pow(hi, 1.0 - alpha));
+  EXPECT_NEAR(d.mean() / analytic, 1.0, 0.10);
+  // CDF at a boundary: F(x) = (1 - (lo/x)^a) / (1 - (lo/hi)^a).
+  const double f4k = (1.0 - std::pow(lo / 4096.0, alpha)) /
+                     (1.0 - std::pow(lo / hi, alpha));
+  EXPECT_NEAR(d.fraction_at_most(4096), f4k, 0.01);
+  // Mice and elephants: most flows are small, most bytes are not. The
+  // median solves (lo/m)^a = 0.5 -> m ~= 57; the mean (~168) sits ~3x
+  // above it because the rare megabyte elephants carry the bytes.
+  EXPECT_GT(d.fraction_at_most(256), 0.85);
+  EXPECT_GT(d.mean(), 150.0);
+}
+
+TEST(Traffic, HeavyTailSamplesStayInRangeAndReplay) {
+  for (auto d : {SizeDistribution::log_uniform(100, 9999),
+                 SizeDistribution::bounded_pareto(1.5, 100, 9999)}) {
+    auto a = generate_sizes(d, 2000, 11);
+    auto b = generate_sizes(d, 2000, 11);
+    auto c = generate_sizes(d, 2000, 12);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    for (auto s : a) {
+      EXPECT_GE(s, 100u);
+      EXPECT_LE(s, 9999u);
+    }
+  }
+}
+
+TEST(Traffic, PoissonArrivalsMatchRateAndReplay) {
+  const double rate = 2e6;  // 2M flows/s -> 500 ns mean gap
+  PoissonArrivals a(rate, 5);
+  sim::Ps prev = 0, last = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const sim::Ps t = a.next();
+    EXPECT_GE(t, prev);  // non-decreasing absolute times
+    prev = t;
+    last = t;
+  }
+  // Mean gap over n draws converges to 1/rate (in ps).
+  const double mean_gap = static_cast<double>(last) / n;
+  EXPECT_NEAR(mean_gap / a.mean_gap_ps(), 1.0, 0.03);
+  EXPECT_DOUBLE_EQ(a.mean_gap_ps(), 1e12 / rate);
+
+  // Same seed, same schedule; different seed, different schedule.
+  PoissonArrivals b(rate, 5), c(rate, 6);
+  PoissonArrivals a2(rate, 5);
+  bool diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const sim::Ps tb = b.next();
+    EXPECT_EQ(tb, a2.next());
+    if (c.next() != tb) diff = true;
+  }
+  EXPECT_TRUE(diff);
 }
 
 }  // namespace
