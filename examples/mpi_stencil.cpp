@@ -1,10 +1,19 @@
 // MPI-FM example: 1-D heat diffusion with halo exchange — the classic
 // message-passing workload the paper's MPI-FM layer exists to serve.
 //
-// A rod of N cells is block-distributed over 4 ranks. Each iteration every
+// A rod of N cells is block-distributed over 8 ranks. Each iteration every
 // rank exchanges one-cell halos with its neighbours (MPI sendrecv over
-// MPI-FM 2.x), applies the 3-point stencil, and every 50 iterations joins
-// an allreduce to track the global residual.
+// MPI-FM 2.x) and applies the 3-point stencil. The iteration count is not
+// fixed: every iteration ends with an allreduce of the global residual and
+// the loop exits when it drops below tolerance — the convergence-test
+// pattern that makes collective latency an every-iteration cost.
+//
+// The whole simulation runs twice, once with host-level collectives and
+// once with MpiFm2Options::nic_collectives (the allreduce forwarded
+// through the NIC control program, one host interruption per operation).
+// Both runs must converge at the same iteration with bit-identical
+// residuals; the difference is who does the combining, reported as the FM
+// handler-start (host-interrupt) delta at the end.
 //
 // Build & run:  ./build/examples/mpi_stencil
 #include <cmath>
@@ -14,20 +23,27 @@
 #include "mpi/mpi_fm2.hpp"
 
 using namespace fmx;
-using mpi::Comm;
 using mpi::MpiFm2;
 using sim::Task;
 
 namespace {
 
-constexpr int kRanks = 4;
+constexpr int kRanks = 8;
 constexpr int kCellsPerRank = 64;
-constexpr int kIters = 200;
+constexpr int kMaxIters = 400;
 constexpr double kAlpha = 0.25;
+constexpr double kTol = 3.0;
 
-double g_final_residual = -1.0;
+struct RunResult {
+  double final_residual = -1.0;
+  double total_heat = 0.0;
+  int iters = 0;
+  double sim_ms = 0.0;
+  std::uint64_t handler_starts = 0;  // cluster-wide host interruptions
+  std::uint64_t sends = 0;
+};
 
-Task<void> rank_program(Comm& comm) {
+Task<void> rank_program(MpiFm2& comm, RunResult& out) {
   const int me = comm.rank();
   const int n = comm.size();
   // Local block with two ghost cells. Initial condition: a hot spike in
@@ -36,7 +52,7 @@ Task<void> rank_program(Comm& comm) {
   std::vector<double> next(kCellsPerRank + 2, 0.0);
   if (me == 0) u[kCellsPerRank / 2] = 1000.0;
 
-  for (int it = 0; it < kIters; ++it) {
+  for (int it = 0; it < kMaxIters; ++it) {
     // Halo exchange: even/odd pairing via sendrecv avoids deadlock.
     if (me + 1 < n) {
       co_await comm.sendrecv(as_bytes_of(u[kCellsPerRank]), me + 1, 0,
@@ -60,18 +76,22 @@ Task<void> rank_program(Comm& comm) {
     // overlap shows up in simulated time.
     co_await comm.host_compute(sim::us(5));
 
-    if ((it + 1) % 50 == 0) {
-      double local = 0;
-      for (int i = 1; i <= kCellsPerRank; ++i) {
-        local += std::abs(u[i] - next[i]);
-      }
-      std::vector<double> sum{local};
-      co_await comm.allreduce_sum(std::span<double>{sum});
-      if (me == 0) {
-        std::printf("iter %4d  global residual %.4f\n", it + 1, sum[0]);
-        g_final_residual = sum[0];
-      }
+    // Convergence test: allreduce the per-iteration change. Every rank
+    // sees the same global residual, so every rank takes the same exit.
+    double local = 0;
+    for (int i = 1; i <= kCellsPerRank; ++i) {
+      local += std::abs(u[i] - next[i]);
     }
+    std::vector<double> sum{local};
+    co_await comm.allreduce_sum(std::span<double>{sum});
+    if (me == 0) {
+      if ((it + 1) % 50 == 0) {
+        std::printf("  iter %4d  global residual %.4f\n", it + 1, sum[0]);
+      }
+      out.final_residual = sum[0];
+      out.iters = it + 1;
+    }
+    if (sum[0] < kTol) break;
   }
 
   // Conservation check: total heat must still sum to ~1000.
@@ -79,27 +99,58 @@ Task<void> rank_program(Comm& comm) {
   for (int i = 1; i <= kCellsPerRank; ++i) local += u[i];
   std::vector<double> total{local};
   co_await comm.allreduce_sum(std::span<double>{total});
-  if (me == 0) {
-    std::printf("total heat after %d iters: %.2f (expected 1000)\n", kIters,
-                total[0]);
+  if (me == 0) out.total_heat = total[0];
+}
+
+RunResult run_sim(bool nic_collectives) {
+  sim::Engine engine;
+  net::Cluster cluster(engine, net::ppro_fm2_cluster(kRanks));
+  mpi::MpiFm2Options opt;
+  opt.nic_collectives = nic_collectives;
+  std::vector<std::unique_ptr<MpiFm2>> comms;
+  for (int r = 0; r < kRanks; ++r) {
+    comms.push_back(
+        std::make_unique<MpiFm2>(cluster, r, fm2::Config{}, opt));
   }
+  RunResult out;
+  std::printf("%s collectives:\n", nic_collectives ? "NIC" : "host");
+  for (int r = 0; r < kRanks; ++r) {
+    engine.spawn(rank_program(*comms[r], out));
+  }
+  engine.run();
+  out.sim_ms = sim::to_us(engine.now()) / 1000.0;
+  out.sends = comms[0]->stats().sends;
+  for (const auto& c : comms) out.handler_starts += c->fm().stats().handler_starts;
+  if (engine.pending_roots() != 0) out.final_residual = -1.0;
+  std::printf("  converged at iter %d, residual %.4f, heat %.2f, "
+              "%.2f ms simulated, %llu host interrupts\n",
+              out.iters, out.final_residual, out.total_heat,
+              out.sim_ms,
+              static_cast<unsigned long long>(out.handler_starts));
+  return out;
 }
 
 }  // namespace
 
 int main() {
-  sim::Engine engine;
-  net::Cluster cluster(engine, net::ppro_fm2_cluster(kRanks));
-  std::vector<std::unique_ptr<MpiFm2>> comms;
-  for (int r = 0; r < kRanks; ++r) {
-    comms.push_back(std::make_unique<MpiFm2>(cluster, r));
-  }
-  for (int r = 0; r < kRanks; ++r) {
-    engine.spawn(rank_program(*comms[r]));
-  }
-  engine.run();
-  std::printf("simulated time: %.2f ms, MPI messages: %llu\n",
-              sim::to_us(engine.now()) / 1000.0,
-              static_cast<unsigned long long>(comms[0]->stats().sends));
-  return (engine.pending_roots() == 0 && g_final_residual >= 0) ? 0 : 1;
+  RunResult host = run_sim(false);
+  RunResult nic = run_sim(true);
+
+  // Same physics either way: the NIC path must reproduce the host path's
+  // convergence trajectory bit for bit.
+  const bool same = host.iters == nic.iters &&
+                    host.final_residual == nic.final_residual &&
+                    host.total_heat == nic.total_heat;
+  std::printf("\nNIC offload: %.2f -> %.2f ms simulated, host interrupts "
+              "%llu -> %llu (%.1fx fewer), results %s\n",
+              host.sim_ms, nic.sim_ms,
+              static_cast<unsigned long long>(host.handler_starts),
+              static_cast<unsigned long long>(nic.handler_starts),
+              nic.handler_starts
+                  ? double(host.handler_starts) / double(nic.handler_starts)
+                  : 0.0,
+              same ? "bit-identical" : "DIVERGED");
+  return (same && host.final_residual >= 0 && host.final_residual < kTol)
+             ? 0
+             : 1;
 }

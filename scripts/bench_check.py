@@ -53,6 +53,26 @@ datacenter-scale traffic engine invariants:
     must carry observations and finite p50/p99/p999 — a NaN/missing tail
     means the histogram plumbing broke, which digests alone cannot see.
 
+Collectives gate (--collectives-binary): runs `scaling_collectives` on a
+reduced rank sweep (default up to --collectives-ranks = 128) and checks
+the NIC-offloaded collective engine against the host-level ablation.
+Everything in that bench is simulated time, so the checks are exact:
+  - offload proof: every NIC-phase row must report 0 FM handler starts
+    (interior tree steps run NIC-to-NIC; completion is polled) and 0
+    cluster-wide heap allocations (warmed pools),
+  - the bench's own single-interrupt accounting (completions_ok) must
+    hold: summed NIC completions == one host interruption per operation,
+  - the NIC barrier must beat the host dissemination barrier by
+    --min-coll-speedup (default 1.5x) at 64 ranks and beyond, with the
+    absolute saving per barrier (host - nic us) non-decreasing in rank
+    count on each preset,
+  - host latency must grow monotonically with ranks for every op (more
+    ranks can't be free), and every overlapping (preset, ranks, op) row
+    must match the committed BENCH_collectives.json exactly — each
+    configuration is an independent engine, so a reduced sweep reproduces
+    the committed rows verbatim and any drift is a real protocol-cost
+    change that needs a deliberate baseline update.
+
 Wall-clock numbers are machine-dependent, so the absolute gates are
 deliberately loose: they catch "someone reintroduced a per-event
 allocation or an accidental O(n) queue", not single-digit-percent noise.
@@ -67,6 +87,9 @@ Usage:
       [--rendezvous-baseline BENCH_rendezvous.json]
   scripts/bench_check.py --fabric-binary build/bench/fabric_scale \
       [--fabric-hosts 128] [--fabric-flows 64] [--fabric-max-allocs 0]
+  scripts/bench_check.py --collectives-binary build/bench/scaling_collectives \
+      [--collectives-baseline BENCH_collectives.json] \
+      [--collectives-ranks 128] [--min-coll-speedup 1.5]
 
 Exit status: 0 ok, 1 regression, 2 usage/environment error.
 """
@@ -362,6 +385,119 @@ def check_fabric(args) -> bool:
     return ok
 
 
+def check_collectives(args) -> bool:
+    with open(args.collectives_baseline) as f:
+        base = json.load(f)
+    out_json = os.path.join(tempfile.mkdtemp(prefix="bench_check_coll_"),
+                            "collectives.json")
+    cmd = [args.collectives_binary, "--max-ranks",
+           str(args.collectives_ranks), "--out", out_json]
+    # The bench exits non-zero when its own single-interrupt or
+    # quiet-NIC-phase accounting fails; fold that into the row checks
+    # below instead of treating it as a harness error.
+    subprocess.run(cmd, stdout=subprocess.PIPE)
+    with open(out_json) as f:
+        cur = json.load(f)
+
+    ok = True
+    if not cur.get("completions_ok", False):
+        print("bench_check: REGRESSION: NIC collective completions != one "
+              "host interruption per operation", file=sys.stderr)
+        ok = False
+
+    rows = cur.get("results", [])
+    by_key = {(r["preset"], r["ranks"], r["op"]): r for r in rows}
+    presets = sorted({r["preset"] for r in rows})
+    ops = sorted({r["op"] for r in rows})
+
+    for r in rows:
+        # Offload proof: interior steps never start a host handler, and
+        # the warmed NIC phases are allocation-free cluster-wide.
+        if r["nic_handler_starts"] != 0:
+            print(f"bench_check: REGRESSION: {r['preset']}/{r['ranks']} "
+                  f"{r['op']}: NIC phase started "
+                  f"{r['nic_handler_starts']} host handlers (must be 0 — "
+                  f"the host is only interrupted at completion)",
+                  file=sys.stderr)
+            ok = False
+        if r["nic_allocs"] != 0:
+            print(f"bench_check: REGRESSION: {r['preset']}/{r['ranks']} "
+                  f"{r['op']}: {r['nic_allocs']} heap allocations in the "
+                  f"NIC phase (must be 0 after warmup)", file=sys.stderr)
+            ok = False
+
+    for preset in presets:
+        for op in ops:
+            series = sorted((r["ranks"], r) for k, r in by_key.items()
+                            if k[0] == preset and k[2] == op)
+            # Host latency monotone in ranks: more ranks can't be free.
+            for (_, a), (_, b) in zip(series, series[1:]):
+                if b["host_us"] < a["host_us"]:
+                    print(f"bench_check: REGRESSION: {preset} {op} host "
+                          f"latency fell from {a['host_us']:.1f} us at "
+                          f"{a['ranks']} ranks to {b['host_us']:.1f} us "
+                          f"at {b['ranks']} ranks", file=sys.stderr)
+                    ok = False
+            if op != "barrier":
+                continue
+            # Offload payoff: speedup floor at 64+ ranks, and the absolute
+            # saving per barrier (host - nic us) non-decreasing with rank
+            # count. The saving is the gated "gap": the ratio wobbles by a
+            # few percent when the leader heap gains a level while the
+            # host's dissemination rounds grow smoothly, but every host
+            # round the tree avoids is time saved, and that saving must
+            # grow with scale.
+            gated = [r for _, r in series if r["ranks"] >= 64]
+            for r in gated:
+                print(f"bench_check: {preset} barrier {r['ranks']} ranks: "
+                      f"host {r['host_us']:.1f} us, nic "
+                      f"{r['nic_us']:.1f} us, speedup "
+                      f"{r['speedup']:.2f}x, saved "
+                      f"{r['host_us'] - r['nic_us']:.1f} us")
+                if r["speedup"] < args.min_coll_speedup:
+                    print(f"bench_check: REGRESSION: NIC barrier speedup "
+                          f"{r['speedup']:.2f}x at {r['ranks']} ranks "
+                          f"below {args.min_coll_speedup:g}x",
+                          file=sys.stderr)
+                    ok = False
+            for a, b in zip(gated, gated[1:]):
+                gap_a = a["host_us"] - a["nic_us"]
+                gap_b = b["host_us"] - b["nic_us"]
+                if gap_b < gap_a:
+                    print(f"bench_check: REGRESSION: {preset} barrier "
+                          f"offload saving shrank from {gap_a:.1f} us at "
+                          f"{a['ranks']} ranks to {gap_b:.1f} us at "
+                          f"{b['ranks']} ranks — the offload gap must "
+                          f"grow with scale", file=sys.stderr)
+                    ok = False
+
+    # Simulated time: every overlapping row must match the committed
+    # baseline bit-for-bit (independent engines per configuration, so a
+    # reduced sweep reproduces the full-sweep rows).
+    base_by_key = {(r["preset"], r["ranks"], r["op"]): r
+                   for r in base.get("results", [])}
+    compared = 0
+    for key, r in by_key.items():
+        b = base_by_key.get(key)
+        if b is None:
+            continue
+        compared += 1
+        if r["host_us"] != b["host_us"] or r["nic_us"] != b["nic_us"]:
+            print(f"bench_check: REGRESSION: {key[0]}/{key[1]} {key[2]} "
+                  f"moved: host {b['host_us']} -> {r['host_us']} us, nic "
+                  f"{b['nic_us']} -> {r['nic_us']} us; update "
+                  f"BENCH_collectives.json deliberately if intended",
+                  file=sys.stderr)
+            ok = False
+    print(f"bench_check: collectives: {len(rows)} rows, {compared} "
+          f"compared exactly against baseline")
+    if compared == 0:
+        print("bench_check: REGRESSION: no overlap with the committed "
+              "collectives baseline", file=sys.stderr)
+        ok = False
+    return ok
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--binary",
@@ -391,6 +527,18 @@ def main() -> int:
                     help="max allocs/event in the fabric gate — the "
                          "measured wave is allocation-free after warmup, "
                          "so the pin is exact (default: %(default)s)")
+    ap.add_argument("--collectives-binary",
+                    help="path to the scaling_collectives executable")
+    ap.add_argument("--collectives-baseline",
+                    default="BENCH_collectives.json",
+                    help="committed collectives baseline JSON "
+                         "(default: %(default)s)")
+    ap.add_argument("--collectives-ranks", type=int, default=128,
+                    help="largest cluster size in the collectives gate "
+                         "(default: %(default)s)")
+    ap.add_argument("--min-coll-speedup", type=float, default=1.5,
+                    help="min NIC-vs-host barrier speedup at 64+ ranks "
+                         "(default: %(default)s)")
     ap.add_argument("--factor", type=float, default=2.0,
                     help="max tolerated slowdown vs baseline "
                          "(default: %(default)s)")
@@ -420,9 +568,11 @@ def main() -> int:
     args = ap.parse_args()
 
     if not args.binary and not args.parallel_binary \
-            and not args.rendezvous_binary and not args.fabric_binary:
+            and not args.rendezvous_binary and not args.fabric_binary \
+            and not args.collectives_binary:
         print("bench_check: need --binary, --parallel-binary, "
-              "--rendezvous-binary and/or --fabric-binary", file=sys.stderr)
+              "--rendezvous-binary, --fabric-binary and/or "
+              "--collectives-binary", file=sys.stderr)
         return 2
 
     ok = True
@@ -449,6 +599,13 @@ def main() -> int:
             ok = check_rendezvous(args) and ok
         if args.fabric_binary:
             ok = check_fabric(args) and ok
+        if args.collectives_binary:
+            if not os.path.exists(args.collectives_baseline):
+                print(f"bench_check: baseline "
+                      f"{args.collectives_baseline!r} not found",
+                      file=sys.stderr)
+                return 2
+            ok = check_collectives(args) and ok
     except (OSError, subprocess.CalledProcessError, json.JSONDecodeError,
             KeyError) as e:
         print(f"bench_check: failed: {e}", file=sys.stderr)

@@ -575,6 +575,81 @@ sim::Task<void> Endpoint::wait_for_traffic() {
   }
 }
 
+// --- NIC-offloaded collectives ---------------------------------------------
+
+// Submit one operation to the NIC collective engine and poll until its
+// completion callback fires. The poll loop keeps extracting, so unrelated
+// point-to-point traffic continues to drain — but a pure collective phase
+// starts zero handlers: interior tree steps never touch the host.
+// Stage a local operand into a pool-backed buffer the NIC DMA-fetches —
+// the "pinned descriptor area" write. Pool hits make this allocation-free
+// in steady state; the memcpy is real, charged, and counted.
+BufferRef Endpoint::stage_contrib(ByteSpan src) {
+  BufferRef staged = pool().acquire_ref(src.size());
+  if (!src.empty()) node_.host().copy(staged.mutable_bytes(), src);
+  return staged;
+}
+
+sim::Task<void> Endpoint::coll_run(std::uint32_t group, net::Nic::CollSubmit s) {
+  auto& host = node_.host();
+  // One descriptor write into the NIC's submission area (PIO-sized).
+  host.charge(Cost::kCall, host.params().call_overhead);
+  host.charge(Cost::kPio, host.params().call_overhead);
+  co_await host.sync();
+  bool done = false;
+  s.on_complete = [&done] { done = true; };
+  node_.nic().coll_submit(group, std::move(s));
+  co_await poll_until([&done] { return done; });
+}
+
+sim::Task<void> Endpoint::coll_join(const net::CollGroupSpec& spec) {
+  node_.nic().coll_create(spec);
+  net::Nic::CollSubmit s;
+  s.op = net::CollOp::kJoin;
+  co_await coll_run(spec.id, std::move(s));
+}
+
+sim::Task<void> Endpoint::coll_barrier(std::uint32_t group) {
+  net::Nic::CollSubmit s;
+  s.op = net::CollOp::kBarrier;
+  co_await coll_run(group, std::move(s));
+}
+
+sim::Task<void> Endpoint::coll_bcast(std::uint32_t group, MutByteSpan buf) {
+  net::Nic::CollSubmit s;
+  s.op = net::CollOp::kBcast;
+  if (node_.nic().coll_tree_of(group).parent < 0) {
+    // Root: stage the payload into a pool-backed descriptor buffer the NIC
+    // fetches (pool hits keep steady-state ops allocation-free).
+    s.contrib = stage_contrib(ByteSpan{buf.data(), buf.size()});
+  } else {
+    s.result = buf;
+  }
+  co_await coll_run(group, std::move(s));
+}
+
+sim::Task<void> Endpoint::coll_reduce(std::uint32_t group,
+                                      std::span<double> data, CollRed red) {
+  net::Nic::CollSubmit s;
+  s.op = red == CollRed::kMax ? net::CollOp::kReduceMax
+                              : net::CollOp::kReduceSum;
+  s.contrib = stage_contrib(std::as_bytes(data));
+  if (node_.nic().coll_tree_of(group).parent < 0)
+    s.result = std::as_writable_bytes(data);
+  co_await coll_run(group, std::move(s));
+}
+
+sim::Task<void> Endpoint::coll_allreduce(std::uint32_t group,
+                                         std::span<double> data,
+                                         CollRed red) {
+  net::Nic::CollSubmit s;
+  s.op = red == CollRed::kMax ? net::CollOp::kAllreduceMax
+                              : net::CollOp::kAllreduceSum;
+  s.contrib = stage_contrib(std::as_bytes(data));
+  s.result = std::as_writable_bytes(data);
+  co_await coll_run(group, std::move(s));
+}
+
 sim::Task<void> Endpoint::poll_until(const std::function<bool()>& done) {
   auto& host = node_.host();
   while (!done()) {

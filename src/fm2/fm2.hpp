@@ -265,6 +265,34 @@ class Endpoint {
   /// Drop a pin-down reference taken by post_rdma_buffer / rdma_write.
   void release_rdma(std::uint64_t mr) { node_.host().reg_cache().release(mr); }
 
+  // --- NIC-offloaded collectives (myrinet/coll.hpp) -----------------------
+  // Barrier / broadcast / reduce executed inside the NIC control program:
+  // combining and fan-out forwarding happen NIC-to-NIC along a topology-
+  // derived tree, and the host is interrupted exactly once per operation,
+  // at completion (observed by polling, like RDMA completions — interior
+  // tree steps start no handlers). Operands are packed doubles for the
+  // reductions, raw bytes for broadcast, at most spec.max_bytes per op.
+
+  enum class CollRed { kSum, kMax };
+
+  /// Install the group on this node's NIC and run the tree-wide join
+  /// handshake; returns when membership is confirmed through the root.
+  /// Every member must call this with an identical spec (content and
+  /// order); the group root is spec.members[0].
+  sim::Task<void> coll_join(const net::CollGroupSpec& spec);
+  /// Barrier across the group.
+  sim::Task<void> coll_barrier(std::uint32_t group);
+  /// Broadcast from the group root: `buf` is the source there and the
+  /// destination everywhere else.
+  sim::Task<void> coll_bcast(std::uint32_t group, MutByteSpan buf);
+  /// Rooted reduction; the result lands in `data` at the root only
+  /// (elsewhere `data` is read as the local contribution, never written).
+  sim::Task<void> coll_reduce(std::uint32_t group, std::span<double> data,
+                              CollRed red);
+  /// Like coll_reduce, but the result lands in `data` on every member.
+  sim::Task<void> coll_allreduce(std::uint32_t group, std::span<double> data,
+                                 CollRed red);
+
   /// Poll extract() until `done` returns true.
   sim::Task<void> poll_until(const std::function<bool()>& done);
   /// Sleep until there is something to extract (unless data is already
@@ -351,6 +379,8 @@ class Endpoint {
   };
 
   sim::Task<void> flush_packet(SendStream& s, bool last);
+  BufferRef stage_contrib(ByteSpan src);
+  sim::Task<void> coll_run(std::uint32_t group, net::Nic::CollSubmit s);
   sim::Task<void> acquire_credit(int dest);
   std::uint16_t take_piggyback(int dest);
   void slot_freed(int src) { ++freed_[src]; }

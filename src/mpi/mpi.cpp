@@ -135,10 +135,13 @@ sim::Task<void> Comm::reduce_sum(std::span<double> data, int root) {
 }
 
 sim::Task<void> Comm::allreduce_sum(std::span<double> data) {
-  co_await reduce_sum(data, 0);
-  co_await bcast(MutByteSpan{reinterpret_cast<std::byte*>(data.data()),
-                             data.size_bytes()},
-                 0);
+  // Qualified calls: this is the host-level algorithm (and the ablation
+  // baseline for the NIC-offloaded path), so it must not virtual-dispatch
+  // back into a backend override of reduce/bcast.
+  co_await Comm::reduce_sum(data, 0);
+  co_await Comm::bcast(MutByteSpan{reinterpret_cast<std::byte*>(data.data()),
+                                   data.size_bytes()},
+                       0);
 }
 
 sim::Task<void> Comm::gather(ByteSpan block, MutByteSpan recvbuf, int root) {

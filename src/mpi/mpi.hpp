@@ -71,12 +71,17 @@ class Comm {
                            MutByteSpan recvbuf, int src, int recvtag,
                            Status* status = nullptr);
 
-  // --- collectives (implemented over point-to-point) ----------------------
-  sim::Task<void> barrier();
-  sim::Task<void> bcast(MutByteSpan buf, int root);
+  // --- collectives --------------------------------------------------------
+  // The base implementations run over point-to-point (dissemination
+  // barrier, binomial bcast/reduce). Virtual so a backend can substitute
+  // offloaded algorithms — MpiFm2 with nic_collectives forwards these four
+  // through the NIC control program (myrinet/coll.hpp) and keeps the host-
+  // level versions as the ablation.
+  virtual sim::Task<void> barrier();
+  virtual sim::Task<void> bcast(MutByteSpan buf, int root);
   /// Element-wise sum reduction of doubles to `root` (in place at root).
-  sim::Task<void> reduce_sum(std::span<double> data, int root);
-  sim::Task<void> allreduce_sum(std::span<double> data);
+  virtual sim::Task<void> reduce_sum(std::span<double> data, int root);
+  virtual sim::Task<void> allreduce_sum(std::span<double> data);
   /// Gather equal-sized blocks to root (recvbuf size = size() * block).
   sim::Task<void> gather(ByteSpan block, MutByteSpan recvbuf, int root);
   /// Scatter equal-sized blocks from root (sendbuf size = size() * block).

@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <memory>
+#include <numeric>
 #include <stdexcept>
 
 namespace fmx::mpi {
@@ -394,6 +395,57 @@ std::optional<Status> MpiFm2::peek_unexpected(int src, int tag) {
 sim::Task<void> MpiFm2::progress_once() {
   (void)co_await fm_.extract(extract_budget_ == 0 ? fm2::Endpoint::kNoLimit
                                                   : extract_budget_);
+}
+
+// --- NIC-offloaded collectives ---------------------------------------------
+
+sim::Task<void> MpiFm2::ensure_coll_group() {
+  if (coll_joined_) co_return;
+  net::CollGroupSpec spec;
+  spec.id = kCollGroupId;
+  spec.members.resize(static_cast<std::size_t>(size()));
+  std::iota(spec.members.begin(), spec.members.end(), 0);
+  spec.radix = opt_.coll_radix;
+  spec.max_bytes = opt_.coll_max_bytes;
+  co_await fm_.coll_join(spec);
+  coll_joined_ = true;
+}
+
+sim::Task<void> MpiFm2::barrier() {
+  if (!use_nic_coll(0, 0)) {
+    co_await Comm::barrier();
+    co_return;
+  }
+  co_await ensure_coll_group();
+  co_await fm_.coll_barrier(kCollGroupId);
+}
+
+sim::Task<void> MpiFm2::bcast(MutByteSpan buf, int root) {
+  if (!use_nic_coll(root, buf.size())) {
+    co_await Comm::bcast(buf, root);
+    co_return;
+  }
+  co_await ensure_coll_group();
+  co_await fm_.coll_bcast(kCollGroupId, buf);
+}
+
+sim::Task<void> MpiFm2::reduce_sum(std::span<double> data, int root) {
+  if (!use_nic_coll(root, data.size_bytes())) {
+    co_await Comm::reduce_sum(data, root);
+    co_return;
+  }
+  co_await ensure_coll_group();
+  co_await fm_.coll_reduce(kCollGroupId, data, fm2::Endpoint::CollRed::kSum);
+}
+
+sim::Task<void> MpiFm2::allreduce_sum(std::span<double> data) {
+  if (!use_nic_coll(0, data.size_bytes())) {
+    co_await Comm::allreduce_sum(data);
+    co_return;
+  }
+  co_await ensure_coll_group();
+  co_await fm_.coll_allreduce(kCollGroupId, data,
+                              fm2::Endpoint::CollRed::kSum);
 }
 
 }  // namespace fmx::mpi

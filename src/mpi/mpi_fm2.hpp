@@ -35,6 +35,20 @@ struct MpiFm2Options {
   /// sides negotiate: the payload goes RDMA only if sender and receiver
   /// enable it.
   bool rdma = true;
+  /// Run barrier / bcast / reduce_sum / allreduce_sum inside the NIC
+  /// control program (myrinet/coll.hpp): combining and fan-out forwarding
+  /// happen NIC-to-NIC along a topology-derived tree and the host is
+  /// interrupted once per operation. Off by default — the host-level
+  /// dissemination/binomial algorithms are the ablation, and existing
+  /// workloads keep bit-identical digests. Every rank's first offloaded
+  /// collective triggers a lazy cluster-wide group join. Rooted ops with
+  /// root != 0 and operands larger than coll_max_bytes fall back to the
+  /// host-level path.
+  bool nic_collectives = false;
+  /// Tree fan-out (radix) for the NIC collective tree.
+  int coll_radix = 4;
+  /// Largest operand the NIC group preallocates for (bytes).
+  std::size_t coll_max_bytes = 2048;
 };
 
 class MpiFm2 : public Comm {
@@ -56,6 +70,14 @@ class MpiFm2 : public Comm {
 
   /// Receive-side pacing (bytes per FM_extract while blocked); 0 = no limit.
   void set_extract_budget(std::size_t bytes) { extract_budget_ = bytes; }
+
+  // NIC-offloaded collectives (opt.nic_collectives). Rooted ops with
+  // root != 0 or operands above coll_max_bytes fall back to the host-level
+  // base algorithms.
+  sim::Task<void> barrier() override;
+  sim::Task<void> bcast(MutByteSpan buf, int root) override;
+  sim::Task<void> reduce_sum(std::span<double> data, int root) override;
+  sim::Task<void> allreduce_sum(std::span<double> data) override;
 
  protected:
   sim::Task<void> do_send(ByteSpan data, int dst, int tag) override;
@@ -117,6 +139,15 @@ class MpiFm2 : public Comm {
   /// NIC completion callback target for an RDMA rendezvous receive.
   void on_rdma_complete(std::uint64_t key);
   sim::Task<void> send_control(int to, MpiHeader h);
+  /// True when this collective call should take the NIC-offloaded path.
+  bool use_nic_coll(int root, std::size_t bytes) const noexcept {
+    return opt_.nic_collectives && size() > 1 && root == 0 &&
+           bytes <= opt_.coll_max_bytes;
+  }
+  /// Lazily join the cluster-wide NIC collective group {0..size()-1}.
+  /// Naturally collective: every rank's first offloaded collective is the
+  /// same call, so all ranks join before any operation proceeds.
+  sim::Task<void> ensure_coll_group();
 
   std::unique_ptr<fm2::Endpoint> owned_;
   fm2::Endpoint& fm_;
@@ -127,6 +158,8 @@ class MpiFm2 : public Comm {
   std::unordered_map<std::uint64_t, RdzvRecv> rdzv_recvs_;
   std::uint64_t send_seq_ = 0;
   std::size_t extract_budget_ = 0;
+  static constexpr std::uint32_t kCollGroupId = 0x4D504943;  // "MPIC"
+  bool coll_joined_ = false;
 };
 
 }  // namespace fmx::mpi

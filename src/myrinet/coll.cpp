@@ -1,0 +1,92 @@
+#include "myrinet/coll.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace fmx::net {
+
+namespace {
+
+// parent[i] indexes into `order`: a radix-ary heap laid over the sequence.
+int heap_parent(int i, int radix) { return (i - 1) / radix; }
+
+}  // namespace
+
+int coll_leader_radix(int radix, int n_clusters) noexcept {
+  // Smallest r >= radix with 1 + r + r^2 >= n_clusters: leader hops cross
+  // several switches, so extra heap levels cost far more than the extra
+  // serialized transmits a wider root pays.
+  int r = radix < 1 ? 1 : radix;
+  while (1 + r + r * r < n_clusters) ++r;
+  return r;
+}
+
+CollTree coll_tree(const Topo& topo, const std::vector<int>& members,
+                   int radix, int self) {
+  assert(!members.empty());
+  if (radix < 1) radix = 1;
+  const int root = members[0];
+
+  // Cluster members by first-level switch, in switch order; members within
+  // a cluster in id order. std::map keeps both orders canonical.
+  std::map<int, std::vector<int>> clusters;
+  for (int m : members) clusters[topo.first_switch(m)].push_back(m);
+  for (auto& [sw, c] : clusters) std::sort(c.begin(), c.end());
+
+  // Leader = member nearest the root (root itself in its own cluster;
+  // everywhere else all members of one first-level switch are equidistant,
+  // so the tie-break is the lowest id).
+  struct Cluster {
+    int leader;
+    int hops;  // leader's distance from the root
+    std::vector<int> rest;
+  };
+  std::vector<Cluster> cl;
+  cl.reserve(clusters.size());
+  for (auto& [sw, c] : clusters) {
+    Cluster k;
+    k.leader = c[0];
+    for (int m : c)
+      if (m == root) k.leader = root;
+    k.hops = k.leader == root ? 0 : topo.hops(root, k.leader);
+    for (int m : c)
+      if (m != k.leader) k.rest.push_back(m);
+    cl.push_back(std::move(k));
+  }
+
+  // Leaders form a radix-ary tree ordered (hops-from-root, id), root first.
+  std::vector<int> leaders;
+  leaders.reserve(cl.size());
+  std::sort(cl.begin(), cl.end(), [](const Cluster& a, const Cluster& b) {
+    if ((a.hops == 0) != (b.hops == 0)) return a.hops == 0;  // root first
+    if (a.hops != b.hops) return a.hops < b.hops;
+    return a.leader < b.leader;
+  });
+  for (const Cluster& k : cl) leaders.push_back(k.leader);
+
+  int parent = -1;
+  std::vector<int> children;
+  auto relate = [&](const std::vector<int>& order, int r) {
+    for (int i = 0; i < static_cast<int>(order.size()); ++i) {
+      if (i > 0 && order[i] == self) parent = order[heap_parent(i, r)];
+      if (i > 0 && order[heap_parent(i, r)] == self)
+        children.push_back(order[i]);
+    }
+  };
+  relate(leaders, coll_leader_radix(radix, static_cast<int>(cl.size())));
+  for (const Cluster& k : cl) {
+    std::vector<int> order;
+    order.reserve(k.rest.size() + 1);
+    order.push_back(k.leader);
+    order.insert(order.end(), k.rest.begin(), k.rest.end());
+    relate(order, radix);
+  }
+
+  CollTree t;
+  t.parent = parent;
+  t.children = std::move(children);
+  return t;
+}
+
+}  // namespace fmx::net

@@ -1,0 +1,124 @@
+// NIC-offloaded collectives: the wire encoding and the tree geometry for
+// barrier / broadcast / reduce executed *inside* the NIC control program
+// (nic.cpp coll_program). Combining and fan-out forwarding happen
+// NIC-to-NIC — the host is interrupted exactly once per operation, at
+// completion — which is the FM thesis applied to collectives: every host
+// round-trip a tree step avoids is a full software stack traversal saved,
+// multiplied across the tree.
+//
+// Wire format: a kColl packet's payload opens with a CollHeader (real
+// bytes, so the fabric CRC genuinely covers it and corruption faults are
+// detected, not flagged) followed by `bytes` of operand data — packed
+// doubles for the reduction ops, raw bytes for broadcast. Group id, op and
+// epoch therefore survive drop/dup/corrupt exactly as well as any data
+// packet: collective traffic rides the ordinary go-back-N reliable link.
+//
+// Tree: deterministic and topology-derived from net::Topo. Members are
+// clustered by their first-level switch (chain crossbar / fat-tree edge),
+// each cluster's leader is the member nearest the root (the root leads its
+// own cluster), leaders form a radix-ary tree ordered by
+// (hops-from-root, id), and the remaining members of a cluster attach
+// radix-ary under their leader. Combines thus stay inside a crossbar until
+// a single partial per switch remains — the same locality argument as the
+// NIC-based barrier literature.
+//
+// The leader level widens adaptively (coll_leader_radix): an inter-cluster
+// hop crosses multiple switches — several microseconds — while one more
+// serialized child transmit costs a couple of microseconds at most, so the
+// leader heap is kept at depth <= 2 by raising its radix to ~sqrt(#leaders)
+// when the configured radix would add levels. Intra-cluster edges are one
+// crossbar away and keep the configured radix.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "myrinet/topo.hpp"
+
+namespace fmx::net {
+
+/// Collective operation, as carried in the CollHeader. kJoin is the group
+/// establishment handshake itself, run through the same up/down state
+/// machine as a barrier so membership is confirmed tree-wide before any
+/// data-carrying operation can start.
+enum class CollOp : std::uint8_t {
+  kJoin = 0,
+  kBarrier = 1,
+  kBcast = 2,
+  kReduceSum = 3,
+  kReduceMax = 4,
+  kAllreduceSum = 5,
+  kAllreduceMax = 6,
+};
+
+/// Which leg of the tree a packet serves. Join/done are the establishment
+/// handshake's up/down legs; combine/fanout carry the data ops.
+enum class CollClass : std::uint8_t {
+  kJoin = 0,     // up: aggregated join request toward the root
+  kCombine = 1,  // up: partial barrier/reduce contribution
+  kFanout = 2,   // down: barrier release / bcast data / allreduce result
+  kDone = 3,     // down: join confirmation
+};
+
+/// Does the op have an up-sweep (children combine toward the root)?
+inline bool coll_has_up(CollOp op) noexcept { return op != CollOp::kBcast; }
+/// Does the op have a down-sweep (root fans out toward the leaves)?
+inline bool coll_has_down(CollOp op) noexcept {
+  return op != CollOp::kReduceSum && op != CollOp::kReduceMax;
+}
+
+/// Leading bytes of every kColl payload. POD, fixed 16 bytes, memcpy
+/// codec like wire::PacketHeader — these are real wire bytes under CRC.
+struct CollHeader {
+  std::uint32_t group = 0;  ///< collective group id
+  std::uint32_t epoch = 0;  ///< per-group operation sequence number
+  std::uint8_t cls = 0;     ///< CollClass
+  std::uint8_t op = 0;      ///< CollOp
+  std::uint16_t reserved = 0;
+  std::uint32_t bytes = 0;  ///< operand bytes following the header
+};
+inline constexpr std::size_t kCollHeaderBytes = 16;
+static_assert(sizeof(CollHeader) == kCollHeaderBytes);
+
+inline void coll_store(MutByteSpan dst, const CollHeader& h) {
+  std::memcpy(dst.data(), &h, kCollHeaderBytes);
+}
+/// False if the span is too short to hold a header (malformed packet).
+inline bool coll_parse(ByteSpan src, CollHeader& h) {
+  if (src.size() < kCollHeaderBytes) return false;
+  std::memcpy(&h, src.data(), kCollHeaderBytes);
+  return true;
+}
+
+/// A node's slice of the collective tree.
+struct CollTree {
+  int parent = -1;            ///< -1 at the root
+  std::vector<int> children;  ///< deterministic order (= fold order)
+};
+
+/// Group installation descriptor, identical on every member.
+struct CollGroupSpec {
+  std::uint32_t id = 0;
+  /// Member node ids; the root is members[0]. Must contain the installing
+  /// node. The list (content and order) must be identical cluster-wide.
+  std::vector<int> members;
+  int radix = 4;                ///< tree fan-out knob (>= 1)
+  std::size_t max_bytes = 256;  ///< operand-capacity the NIC preallocates
+};
+
+/// Effective fan-out of the inter-cluster leader heap: the smallest radix
+/// >= the configured one that keeps a heap over `n_clusters` nodes at
+/// depth <= 2 (1 + r + r^2 >= n_clusters). Grows ~sqrt(n_clusters), so at
+/// scale both the root's serialization and the tree depth grow gently
+/// instead of one of them jumping.
+int coll_leader_radix(int radix, int n_clusters) noexcept;
+
+/// Tree relation of `self` within `members` over the physical topology
+/// (see file comment for the construction). Deterministic: same inputs,
+/// same tree, on every node and at every thread count.
+CollTree coll_tree(const Topo& topo, const std::vector<int>& members,
+                   int radix, int self);
+
+}  // namespace fmx::net

@@ -105,7 +105,13 @@ void Nic::process_ack(int peer, std::uint32_t ack) {
 sim::Task<void> Nic::rx_wire_program() {
   for (;;) {
     WirePacket pkt = co_await wire_in_.pop();
-    co_await eng_.delay(p_.per_packet_rx);
+    // Collective steps are consumed in SRAM by the control program — no
+    // host-DMA descriptor, no receive-ring slot — so they cost coll_op,
+    // not the full per_packet_rx. This is most of the NIC-offload win:
+    // fan-in arrivals serialize through this program, and a combining
+    // node pays the cheap charge once per child.
+    co_await eng_.delay(pkt.kind == PacketKind::kColl ? p_.coll_op
+                                                      : p_.per_packet_rx);
     if (fault_ != nullptr) {
       if (sim::Ps stall = fault_->rx_pacing(id_); stall > 0) {
         co_await eng_.delay(stall);
@@ -155,6 +161,16 @@ sim::Task<void> Nic::rx_wire_program() {
     rx.kind = pkt.kind;
     rx.rkey = pkt.rkey;
     rx.rdma_offset = pkt.rdma_offset;
+    if (rx.kind == PacketKind::kColl) {
+      // Collective steps are consumed inside the NIC: hand the packet to
+      // the collective engine and return the SRAM token immediately — the
+      // payload moves to control-program scratch, so a slow combine (e.g.
+      // one waiting on a sibling subtree) never backpressures the wire.
+      co_await coll_in_.push(std::move(rx));
+      coll_cv_.notify_all();
+      rx_slack_.release();
+      continue;
+    }
     co_await rx_checked_.push(std::move(rx));
   }
 }
@@ -236,6 +252,331 @@ void Nic::place_rdma(RxPacket& pkt) {
     // Completion is polled, not delivered through the host ring; wake any
     // poller sleeping on ring traffic so it notices the state change.
     host_ring_.poke();
+  }
+}
+
+// --- NIC-offloaded collectives (myrinet/coll.hpp) ---------------------------
+
+namespace {
+
+// In-place pairwise reduction over packed doubles. memcpy keeps the
+// accumulator free of alignment assumptions; the fold order is the tree's
+// deterministic child order, so floating-point results are bit-stable at
+// every thread count.
+void coll_fold(std::byte* acc, const std::byte* in, std::size_t bytes,
+               CollOp op) {
+  for (std::size_t o = 0; o + sizeof(double) <= bytes; o += sizeof(double)) {
+    double a, b;
+    std::memcpy(&a, acc + o, sizeof(double));
+    std::memcpy(&b, in + o, sizeof(double));
+    a = (op == CollOp::kReduceMax || op == CollOp::kAllreduceMax)
+            ? std::max(a, b)
+            : a + b;
+    std::memcpy(acc + o, &a, sizeof(double));
+  }
+}
+
+std::uint64_t coll_msg_id(int node, std::uint32_t group,
+                          std::uint32_t epoch) {
+  return trace::Tracer::msg_id(node, static_cast<int>(group & 0xFFF),
+                               trace::Layer::kNic, epoch);
+}
+
+}  // namespace
+
+void Nic::coll_create(const CollGroupSpec& spec) {
+  // Lazy engine start: clusters that never form a group keep the exact
+  // pre-collective event schedule (the pinned determinism digests).
+  if (!coll_running_) {
+    coll_running_ = true;
+    eng_.spawn_daemon(coll_program());
+  }
+  assert(!spec.members.empty());
+  assert(std::find(spec.members.begin(), spec.members.end(), id_) !=
+         spec.members.end() &&
+         "installing node must be a group member");
+  assert(coll_groups_.find(spec.id) == coll_groups_.end() &&
+         "group id already installed");
+  CollGroup g;
+  g.id = spec.id;
+  g.tree = coll_tree(fabric_.topo(), spec.members, spec.radix, id_);
+  g.max_bytes = spec.max_bytes;
+  g.accum.resize(spec.max_bytes);
+  // Reach steady-state capacity now: a handful of in-flight epochs per
+  // queue covers any pipelined submission pattern without allocating.
+  g.ops.reserve(8);
+  g.down_q.reserve(8);
+  g.child_q.resize(g.tree.children.size());
+  for (auto& q : g.child_q) q.reserve(8);
+  coll_groups_.emplace(spec.id, std::move(g));
+  // Replay arrivals that beat the install, preserving arrival order
+  // (non-matching ones re-park inside coll_route).
+  if (!coll_orphans_.empty()) {
+    std::vector<RxPacket> parked;
+    parked.swap(coll_orphans_);
+    for (auto& pkt : parked) coll_route(std::move(pkt));
+  }
+  coll_cv_.notify_all();
+}
+
+void Nic::coll_submit(std::uint32_t group, CollSubmit s) {
+  auto it = coll_groups_.find(group);
+  assert(it != coll_groups_.end() && "coll_submit before coll_create");
+  CollGroup& g = it->second;
+  assert(s.contrib.size() <= g.max_bytes && s.result.size() <= g.max_bytes &&
+         "operand exceeds the group's preallocated capacity");
+  fabric_.tracer().record(trace::EventType::kCollSubmit, trace::Layer::kNic,
+                          id_, coll_msg_id(id_, g.id, g.epoch),
+                          s.contrib.size());
+  g.ops.push_back(std::move(s));
+  coll_mark_dirty(g);
+  coll_cv_.notify_all();
+}
+
+void Nic::coll_mark_dirty(CollGroup& g) {
+  if (g.queued) return;
+  g.queued = true;
+  coll_dirty_.push_back(g.id);
+}
+
+// Classify one kColl arrival onto its tree edge. Up-sweep packets (join/
+// combine) queue FIFO per child; down-sweep packets (fanout/done) queue
+// FIFO from the parent. Malformed payloads and packets from nodes that are
+// not tree neighbors are dropped (with reliable_link the sender's timeout
+// re-delivers a clean copy; corruption never folds into an accumulator).
+void Nic::coll_route(RxPacket pkt) {
+  CollHeader h;
+  if (!coll_parse(pkt.payload.span(), h) ||
+      pkt.payload.size() != kCollHeaderBytes + h.bytes) {
+    ++stats_.coll_stale;
+    return;
+  }
+  auto it = coll_groups_.find(h.group);
+  if (it == coll_groups_.end()) {
+    ++stats_.coll_orphaned;
+    coll_orphans_.push_back(std::move(pkt));
+    return;
+  }
+  CollGroup& g = it->second;
+  const auto cls = static_cast<CollClass>(h.cls);
+  if (cls == CollClass::kJoin || cls == CollClass::kCombine) {
+    int ci = -1;
+    for (std::size_t i = 0; i < g.tree.children.size(); ++i) {
+      if (g.tree.children[i] == pkt.src) {
+        ci = static_cast<int>(i);
+        break;
+      }
+    }
+    if (ci < 0) {
+      ++stats_.coll_stale;
+      return;
+    }
+    g.child_q[static_cast<std::size_t>(ci)].push_back(
+        std::move(pkt.payload));
+  } else {
+    if (pkt.src != g.tree.parent) {
+      ++stats_.coll_stale;
+      return;
+    }
+    g.down_q.push_back(std::move(pkt.payload));
+  }
+  ++stats_.coll_rx_packets;
+  coll_mark_dirty(g);
+}
+
+BufferRef Nic::coll_pack(const CollGroup& g, CollClass cls, CollOp op,
+                         ByteSpan values) {
+  BufferRef buf =
+      fabric_.pool().acquire_ref(kCollHeaderBytes + values.size());
+  CollHeader h;
+  h.group = g.id;
+  h.epoch = g.epoch;
+  h.cls = static_cast<std::uint8_t>(cls);
+  h.op = static_cast<std::uint8_t>(op);
+  h.bytes = static_cast<std::uint32_t>(values.size());
+  MutByteSpan out = buf.mutable_bytes();
+  coll_store(out, h);
+  if (!values.empty())
+    std::memcpy(out.data() + kCollHeaderBytes, values.data(), values.size());
+  return buf;
+}
+
+// Hand one collective packet to the ordinary send pipeline. fetch_dma is
+// false — the bytes were assembled in NIC SRAM, no host-memory fetch — and
+// the transmit goes through tx_inject's per_packet_tx delay like any other
+// send, which is what keeps Nic::wire_floor's fresh-transmit bound intact.
+sim::Task<void> Nic::coll_emit(CollGroup& g, BufferRef payload, int dst) {
+  SendDescriptor d(dst, std::move(payload), /*fetch_dma=*/false);
+  d.kind = PacketKind::kColl;
+  d.trace_id = coll_msg_id(id_, g.id, g.epoch);
+  ++stats_.coll_forwards;
+  fabric_.tracer().record(trace::EventType::kCollForward, trace::Layer::kNic,
+                          id_, d.trace_id,
+                          static_cast<std::uint64_t>(dst));
+  co_await tx_queue_.push(std::move(d));
+}
+
+// Retire the head operation: place delivered values into the host buffer
+// (one bus DMA — the operation's only host-memory write), run the
+// completion callback, and wake pollers. This is the single host
+// interruption of the whole collective.
+sim::Task<void> Nic::coll_complete(CollGroup& g, ByteSpan values) {
+  CollSubmit op = g.ops.take_front();
+  g.fetched = false;
+  g.combined = false;
+  fabric_.tracer().record(trace::EventType::kCollDone, trace::Layer::kNic,
+                          id_, coll_msg_id(id_, g.id, g.epoch),
+                          values.size());
+  ++g.epoch;
+  ++stats_.coll_completions;
+  if (!values.empty() && !op.result.empty()) {
+    const std::size_t n = std::min(values.size(), op.result.size());
+    co_await bus_.dma(n);
+    std::memcpy(op.result.data(), values.data(), n);
+  }
+  if (op.on_complete) op.on_complete();
+  // Completion is polled, RDMA-style: no host-ring entry, just a wake for
+  // pollers sleeping on ring traffic.
+  host_ring_.poke();
+}
+
+// Drive the head operation of one group as far as the arrived traffic
+// allows. Ops complete strictly in submission (epoch) order; per-edge FIFO
+// delivery guarantees every child-queue head belongs to the head epoch.
+sim::Task<void> Nic::coll_advance(CollGroup& g) {
+  for (;;) {
+    if (g.ops.empty()) co_return;
+    const CollOp op = g.ops.front().op;
+    const bool root = g.tree.parent < 0;
+
+    // Up-sweep: fold the local operand with every child's partial, then
+    // forward one combined partial toward the root.
+    if (coll_has_up(op) && !g.combined) {
+      const std::size_t vbytes = g.ops.front().contrib.size();
+      if (!g.fetched) {
+        // One bus transaction fetches the submit descriptor + operand.
+        // Prefetched on the submit wake-up, BEFORE waiting for children:
+        // at interior nodes the DMA overlaps the child subtrees' arrivals
+        // instead of adding a bus round-trip per tree level to the
+        // critical path.
+        g.fetched = true;
+        co_await bus_.dma(kCollHeaderBytes + vbytes);
+      }
+      bool ready = true;
+      for (const auto& q : g.child_q) ready = ready && !q.empty();
+      if (!ready) co_return;
+      if (vbytes > 0)
+        std::memcpy(g.accum.data(), g.ops.front().contrib.data(), vbytes);
+      sim::Ps cost = p_.coll_op;
+      for (auto& q : g.child_q) {
+        BufferRef b = q.take_front();
+        CollHeader h;
+        coll_parse(b.span(), h);
+        assert(h.epoch == g.epoch && h.bytes == vbytes &&
+               h.op == static_cast<std::uint8_t>(op) &&
+               "tree-edge FIFO order violated");
+        (void)h;
+        coll_fold(g.accum.data(), b.data() + kCollHeaderBytes, vbytes, op);
+        cost += p_.coll_op +
+                static_cast<sim::Ps>(p_.coll_ps_per_byte *
+                                     static_cast<double>(vbytes));
+        ++stats_.coll_combines;
+        fabric_.tracer().record(trace::EventType::kCollCombine,
+                                trace::Layer::kNic, id_,
+                                coll_msg_id(id_, g.id, g.epoch), vbytes);
+      }
+      co_await eng_.delay(cost);
+      g.combined = true;
+      const ByteSpan folded{g.accum.data(), vbytes};
+      if (!root) {
+        co_await coll_emit(
+            g,
+            coll_pack(g, op == CollOp::kJoin ? CollClass::kJoin
+                                             : CollClass::kCombine,
+                      op, folded),
+            g.tree.parent);
+        if (!coll_has_down(op)) {
+          // Rooted reduce: an interior node is done once its partial is
+          // on its way up; only the root ever delivers values.
+          co_await coll_complete(g, {});
+          continue;
+        }
+        // Fall through: wait for the root's fan-down.
+      } else {
+        if (coll_has_down(op)) {
+          // Barrier release / join confirmation carry no operand; the
+          // allreduce result fans out the folded values.
+          const bool carry = op == CollOp::kAllreduceSum ||
+                             op == CollOp::kAllreduceMax;
+          BufferRef down =
+              coll_pack(g, op == CollOp::kJoin ? CollClass::kDone
+                                               : CollClass::kFanout,
+                        op, carry ? folded : ByteSpan{});
+          for (int c : g.tree.children) co_await coll_emit(g, down, c);
+          co_await coll_complete(g, carry ? folded : ByteSpan{});
+        } else {
+          co_await coll_complete(g, folded);  // reduce root: final value
+        }
+        continue;
+      }
+    }
+
+    if (!coll_has_down(op)) co_return;  // unreachable guard
+
+    // Root broadcast: no up-sweep, the local operand fans straight out.
+    if (root && op == CollOp::kBcast) {
+      const std::size_t vbytes = g.ops.front().contrib.size();
+      if (!g.fetched) {
+        g.fetched = true;
+        co_await bus_.dma(kCollHeaderBytes + vbytes);
+      }
+      co_await eng_.delay(p_.coll_op);
+      BufferRef down =
+          coll_pack(g, CollClass::kFanout, op, g.ops.front().contrib.span());
+      for (int c : g.tree.children) co_await coll_emit(g, down, c);
+      // The root's data is already in the user buffer; nothing to place.
+      co_await coll_complete(g, {});
+      continue;
+    }
+
+    // Down-sweep at an interior node / leaf: forward the parent's packet
+    // to the children verbatim (a reference share, zero repack), then
+    // deliver its values locally.
+    if (g.down_q.empty()) co_return;
+    BufferRef down = g.down_q.take_front();
+    CollHeader h;
+    coll_parse(down.span(), h);
+    assert(h.epoch == g.epoch &&
+           h.op == static_cast<std::uint8_t>(op) &&
+           "tree-edge FIFO order violated");
+    (void)h;
+    co_await eng_.delay(p_.coll_op);
+    for (int c : g.tree.children) co_await coll_emit(g, down, c);
+    co_await coll_complete(
+        g, down.span().subspan(kCollHeaderBytes));
+  }
+}
+
+// The collective control program: one daemon per NIC drains diverted kColl
+// arrivals onto their tree edges and advances every group with runnable
+// work. Single-threaded per NIC and fed by FIFO queues, so processing
+// order — and therefore every fold order and timestamp — is deterministic.
+sim::Task<void> Nic::coll_program() {
+  for (;;) {
+    if (coll_in_.empty() && coll_dirty_.empty()) {
+      co_await coll_cv_.wait();
+      continue;
+    }
+    while (auto pkt = coll_in_.try_pop()) coll_route(std::move(*pkt));
+    while (!coll_dirty_.empty()) {
+      const std::uint32_t gid = coll_dirty_.take_front();
+      auto it = coll_groups_.find(gid);
+      assert(it != coll_groups_.end());
+      it->second.queued = false;
+      co_await coll_advance(it->second);
+      // Arrivals that landed while advancing re-mark their groups dirty.
+      while (auto pkt = coll_in_.try_pop()) coll_route(std::move(*pkt));
+    }
   }
 }
 

@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "myrinet/coll.hpp"
 #include "myrinet/fabric.hpp"
 #include "myrinet/fault_hooks.hpp"
 #include "myrinet/iobus.hpp"
@@ -20,6 +21,7 @@
 #include "myrinet/params.hpp"
 #include "sim/channel.hpp"
 #include "sim/engine.hpp"
+#include "sim/ring.hpp"
 #include "sim/sync.hpp"
 
 namespace fmx::net {
@@ -43,8 +45,10 @@ struct SendDescriptor {
   int dst = -1;
   BufferRef payload;
   /// True: payload lives in host memory, the NIC DMA-fetches it across the
-  /// bus (FM 2.x style). False: the host already pushed the bytes into NIC
-  /// SRAM with programmed I/O and paid for the bus itself (FM 1.x style).
+  /// bus (FM 2.x style). False: the bytes are already in NIC SRAM — either
+  /// the host pushed them with programmed I/O and paid for the bus itself
+  /// (FM 1.x style), or the NIC control program built them locally
+  /// (collective combine/fan-out forwarding).
   bool fetch_dma = false;
   /// Invoked once the payload has left host memory (pinned buffer reusable).
   std::function<void()> on_fetched;
@@ -75,7 +79,9 @@ class Nic {
         host_ring_(eng, p.host_ring_slots),
         window_cv_(eng),
         ack_cv_(eng),
-        rtx_cv_(eng) {
+        rtx_cv_(eng),
+        coll_in_(eng, sim::Channel<RxPacket>::kUnbounded),
+        coll_cv_(eng) {
     fabric_.attach(id, &wire_in_, &rx_slack_);
     // Reach each bounded queue's high-water mark now: these are credit- or
     // slot-limited, so a deep streaming burst (e.g. one pair holding every
@@ -84,6 +90,7 @@ class Nic {
     tx_queue_.reserve(p.tx_queue_slots);
     tx_sram_.reserve(p.sram_tx_slots);
     host_ring_.reserve(p.host_ring_slots);
+    coll_in_.reserve(p.sram_rx_slots);
     floor_gap_ = p_.per_packet_tx;
     if (p_.reliable_link) {
       tx_peers_.resize(fabric_.n_hosts());
@@ -103,6 +110,9 @@ class Nic {
     eng_.spawn_daemon(tx_inject_program());
     eng_.spawn_daemon(rx_wire_program());
     eng_.spawn_daemon(rx_dma_program());
+    // coll_program is spawned lazily by the first coll_create: clusters
+    // that never form a group run a bit-identical event schedule to the
+    // pre-collective NIC (the determinism digests depend on this).
     if (p_.reliable_link) {
       eng_.spawn_daemon(ack_program());
       eng_.spawn_daemon(retransmit_program());
@@ -134,6 +144,50 @@ class Nic {
   std::uint32_t post_rdma_target(MutByteSpan dst,
                                  std::function<void()> on_complete);
 
+  // --- NIC-offloaded collectives (myrinet/coll.hpp) -----------------------
+  /// One host-submitted collective operation. Program order per group is
+  /// the epoch order; every member must submit the same op sequence.
+  struct CollSubmit {
+    CollSubmit() = default;
+    CollOp op = CollOp::kBarrier;
+    /// Local operand: reduce/allreduce contribution, or the broadcast
+    /// payload at the root. Empty for barrier/join and non-root bcast.
+    BufferRef contrib;
+    /// Where delivered values land (reduce root, allreduce everywhere,
+    /// bcast non-root). Must stay valid until on_complete runs.
+    MutByteSpan result;
+    /// Runs on the NIC at completion — the single host interruption of the
+    /// whole operation. The NIC also pokes the host ring so pollers wake.
+    std::function<void()> on_complete;
+  };
+
+  /// Install a collective group: derive this node's tree slice from the
+  /// fabric topology and preallocate the per-group state (contribution
+  /// queues, partial-reduce accumulator) so steady-state operations stay
+  /// off the allocator. Packets arriving for a group not yet installed are
+  /// parked and replayed at installation, so members may install in any
+  /// order relative to wire traffic.
+  void coll_create(const CollGroupSpec& spec);
+  bool coll_has_group(std::uint32_t id) const noexcept {
+    return coll_groups_.find(id) != coll_groups_.end();
+  }
+  /// This node's tree slice (test/debug inspection).
+  const CollTree& coll_tree_of(std::uint32_t id) const {
+    return coll_groups_.at(id).tree;
+  }
+  /// Submit an operation on an installed group.
+  void coll_submit(std::uint32_t group, CollSubmit s);
+  /// Outstanding collective work on this NIC: queued host ops plus parked
+  /// and buffered wire contributions (quiescence / invariant checks).
+  std::size_t coll_pending() const noexcept {
+    std::size_t n = coll_orphans_.size() + coll_in_.size();
+    for (const auto& [id, g] : coll_groups_) {
+      n += g.ops.size() + g.down_q.size();
+      for (const auto& q : g.child_q) n += q.size();
+    }
+    return n;
+  }
+
   struct Stats {
     std::uint64_t tx_packets = 0;
     std::uint64_t rx_packets = 0;
@@ -147,6 +201,13 @@ class Nic {
     std::uint64_t rdma_rx_bytes = 0;
     std::uint64_t rdma_completions = 0; // targets fully written
     std::uint64_t rdma_stale = 0;       // chunk for unknown/retired rkey
+    // NIC-offloaded collectives
+    std::uint64_t coll_rx_packets = 0;  // kColl packets consumed on the NIC
+    std::uint64_t coll_combines = 0;    // child partials folded
+    std::uint64_t coll_forwards = 0;    // combine/fanout packets emitted
+    std::uint64_t coll_completions = 0; // host interruptions (one per op)
+    std::uint64_t coll_orphaned = 0;    // arrivals parked before coll_create
+    std::uint64_t coll_stale = 0;       // malformed / foreign-edge drops
   };
   const Stats& stats() const noexcept { return stats_; }
   /// Unacked packets currently retained (reliable-link mode).
@@ -214,12 +275,46 @@ class Nic {
     bool ack_due = false;
   };
 
+  /// Per-group collective state, NIC-resident. Contribution arrivals queue
+  /// FIFO per tree edge: the link layer delivers each (src, dst) stream
+  /// in order and exactly once, so the head of every child queue always
+  /// belongs to the oldest unfinished epoch — head-presence across the
+  /// child queues *is* the arrival bitmap, with later epochs parked behind
+  /// it. All queues and the accumulator are sized at coll_create.
+  struct CollGroup {
+    CollGroup() = default;
+    CollGroup(const CollGroup&) = delete;
+    CollGroup& operator=(const CollGroup&) = delete;
+    CollGroup(CollGroup&&) = default;
+    CollGroup& operator=(CollGroup&&) = default;
+    std::uint32_t id = 0;
+    CollTree tree;
+    std::size_t max_bytes = 0;
+    std::uint32_t epoch = 0;  ///< ops completed; stamped on wire packets
+    sim::RingQueue<CollSubmit> ops;               // host program order
+    std::vector<sim::RingQueue<BufferRef>> child_q;  // up-sweep arrivals
+    sim::RingQueue<BufferRef> down_q;             // down-sweep arrivals
+    std::vector<std::byte> accum;                 // partial-reduce values
+    // head-op progress
+    bool fetched = false;   // local operand DMAed across the bus
+    bool combined = false;  // up-sweep folded and (non-root) sent
+    bool queued = false;    // on coll_dirty_
+  };
+
   sim::Task<void> tx_fetch_program();
   sim::Task<void> tx_inject_program();
   sim::Task<void> rx_wire_program();
   sim::Task<void> rx_dma_program();
   sim::Task<void> ack_program();
   sim::Task<void> retransmit_program();
+  sim::Task<void> coll_program();
+  sim::Task<void> coll_advance(CollGroup& g);
+  sim::Task<void> coll_emit(CollGroup& g, BufferRef payload, int dst);
+  sim::Task<void> coll_complete(CollGroup& g, ByteSpan values);
+  void coll_route(RxPacket pkt);
+  void coll_mark_dirty(CollGroup& g);
+  BufferRef coll_pack(const CollGroup& g, CollClass cls, CollOp op,
+                      ByteSpan values);
   void process_ack(int peer, std::uint32_t ack);
   void place_rdma(RxPacket& pkt);
 
@@ -246,6 +341,15 @@ class Nic {
   // advances in posting order, which is simulation order.
   std::unordered_map<std::uint32_t, RdmaTarget> rdma_targets_;
   std::uint32_t next_rkey_ = 1;
+  // NIC-offloaded collective state. Iteration never touches the map in a
+  // nondeterministic order on the data path (groups advance via the FIFO
+  // dirty ring); the map is only scanned by quiescence accessors.
+  std::unordered_map<std::uint32_t, CollGroup> coll_groups_;
+  sim::Channel<RxPacket> coll_in_;   // diverted kColl arrivals
+  sim::CondVar coll_cv_;             // submissions / installs / arrivals
+  sim::RingQueue<std::uint32_t> coll_dirty_;  // groups with pending work
+  std::vector<RxPacket> coll_orphans_;  // arrivals before coll_create
+  bool coll_running_ = false;  // coll_program spawned (first coll_create)
   // wire_floor state, written only by this NIC's control programs (same
   // engine, hence same worker thread as the emission-bound hook).
   static constexpr sim::Ps kNeverArmed = std::numeric_limits<sim::Ps>::max();

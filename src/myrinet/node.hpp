@@ -81,6 +81,12 @@ class Cluster {
       m.expose(pre + "nic.retransmissions", &ns.retransmissions);
       m.expose(pre + "nic.acks_sent", &ns.acks_sent);
       m.expose(pre + "nic.seq_dropped", &ns.seq_dropped);
+      m.expose(pre + "nic.coll_rx_packets", &ns.coll_rx_packets);
+      m.expose(pre + "nic.coll_combines", &ns.coll_combines);
+      m.expose(pre + "nic.coll_forwards", &ns.coll_forwards);
+      m.expose(pre + "nic.coll_completions", &ns.coll_completions);
+      m.expose(pre + "nic.coll_orphaned", &ns.coll_orphaned);
+      m.expose(pre + "nic.coll_stale", &ns.coll_stale);
       const sim::CostLedger& hl = n->host().ledger();
       m.expose(pre + "host.copies", hl.copies_cell());
       m.expose(pre + "host.copied_bytes", hl.copied_bytes_cell());

@@ -25,9 +25,14 @@ namespace fmx::net {
 ///  - kRdmaWrite: remote-memory write. The payload carries no FM header; the
 ///    NIC places the bytes directly into the registered buffer identified by
 ///    rkey at rdma_offset and the host never touches them (true zero-copy).
+///  - kColl: NIC-offloaded collective step (myrinet/coll.hpp). The payload
+///    opens with a CollHeader followed by the partial values; the receiving
+///    NIC combines/forwards it inside its own control program and the host
+///    is never interrupted on interior tree steps.
 enum class PacketKind : std::uint8_t {
   kData = 0,
   kRdmaWrite = 1,
+  kColl = 2,
 };
 
 // Note: these types travel by value through coroutines, so they carry

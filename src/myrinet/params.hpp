@@ -71,6 +71,20 @@ struct NicParams {
   bool hardware_crc = true;         ///< CRC overlapped with wire transfer
   double crc_ps_per_byte = 2'000;   ///< charged only if !hardware_crc
 
+  /// NIC-offloaded collectives (myrinet/coll.hpp): control-program cost per
+  /// collective step processed on the NIC (combine bookkeeping, fan-out
+  /// descriptor build) plus the per-byte reduction arithmetic on the LANai.
+  /// An arriving collective packet is also charged coll_op instead of
+  /// per_packet_rx on the receive path: it is parsed and consumed entirely
+  /// in NIC SRAM, so the host-DMA descriptor and receive-ring bookkeeping
+  /// that per_packet_rx models never happen. (Transmit keeps the full
+  /// per_packet_tx — wire injection is serial and backs the parallel
+  /// engine's fresh-transmit lookahead floor.) These steps are much cheaper
+  /// than a host round-trip — that asymmetry is the entire point of
+  /// forwarding collectives NIC-to-NIC.
+  Ps coll_op = sim::ns(400);
+  double coll_ps_per_byte = 4'000;  ///< 4 ns/B reduce arithmetic (slow core)
+
   /// Link-level go-back-N retransmission (extension; off by default —
   /// Myrinet's bit error rate made FM treat the fabric as reliable, this
   /// makes that assumption explicit and removable).

@@ -79,6 +79,14 @@ class Topo {
   /// path uses link_at directly and never materializes a path.
   std::vector<int> path(int src, int dst, std::uint32_t flow) const;
 
+  /// First-level switch a host hangs off (chain crossbar index or fat-tree
+  /// edge-switch index). Hosts sharing it are one wire hop apart — the
+  /// clustering the NIC collective tree builder (myrinet/coll.hpp) exploits.
+  int first_switch(int host) const noexcept {
+    return kind_ == TopologyKind::kChain ? host / hosts_per_switch_
+                                         : host / hosts_per_edge_;
+  }
+
   // --- Link metadata ------------------------------------------------------
   int uplink(int host) const noexcept { return host; }
   int downlink(int host) const noexcept { return n_hosts_ + host; }

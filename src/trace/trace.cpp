@@ -20,6 +20,10 @@ const char* to_string(EventType t) noexcept {
     case EventType::kMsgDone:     return "msg_done";
     case EventType::kRdmaWrite:   return "rdma_write";
     case EventType::kRdmaDone:    return "rdma_done";
+    case EventType::kCollSubmit:  return "coll_submit";
+    case EventType::kCollCombine: return "coll_combine";
+    case EventType::kCollForward: return "coll_forward";
+    case EventType::kCollDone:    return "coll_done";
     case EventType::kCount:       break;
   }
   return "unknown";

@@ -38,6 +38,10 @@ enum class EventType : std::uint8_t {
   kMsgDone,      // full message delivered to the app     (arg = bytes)
   kRdmaWrite,    // NIC placed a remote-write chunk       (arg = bytes)
   kRdmaDone,     // registered RDMA target fully written  (arg = total bytes)
+  kCollSubmit,   // host submitted a collective op        (arg = operand bytes)
+  kCollCombine,  // NIC folded a child's partial          (arg = operand bytes)
+  kCollForward,  // NIC forwarded a collective packet     (arg = dst node)
+  kCollDone,     // collective completed at this node     (arg = operand bytes)
   kCount,
 };
 

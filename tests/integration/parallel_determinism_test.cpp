@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -223,6 +224,128 @@ std::uint64_t run_rdzv_workload(int threads) {
   d.mix(fs.payload_bytes);
   EXPECT_GT(reg_misses, 0u) << "rendezvous never took the RDMA path";
   return d.h;
+}
+
+// --- NIC-offloaded collective workload --------------------------------------
+// Barrier/bcast/reduce run inside the NIC control programs: combining and
+// fan-out forwarding are NIC-to-NIC packets crossing shard boundaries, the
+// fold order is the tree's child order, and completions are polled. Every
+// double produced, every combine/forward counter, and the trace stream
+// must be bit-identical at any thread count. The full group spans all 8
+// nodes; a second group over {0, 3, 5, 6} keeps a sparse reduction tree
+// whose every edge crosses shards in the maximally-sharded run.
+constexpr int kCollNodes = 8;
+
+std::uint64_t run_coll_workload(int threads, bool lossy) {
+  auto params = net::ppro_fm2_cluster(kCollNodes);
+  if (lossy) params.nic.reliable_link = true;
+  net::ParallelCluster cl(params);
+  std::vector<std::unique_ptr<fault::PlanInjector>> injectors;
+  if (lossy) {
+    injectors = fault::arm(cl, fault::FaultPlan::lossy(0.03, kSeed));
+  }
+  std::vector<std::unique_ptr<fm2::Endpoint>> eps;
+  for (int i = 0; i < kCollNodes; ++i) {
+    eps.push_back(
+        std::make_unique<fm2::Endpoint>(cl.node(i), cl.fabric_of(i)));
+  }
+  net::CollGroupSpec all;
+  all.id = 1;
+  for (int i = 0; i < kCollNodes; ++i) all.members.push_back(i);
+  all.radix = 2;
+  net::CollGroupSpec sparse;
+  sparse.id = 2;
+  sparse.members = {3, 0, 5, 6};  // root 3: tree edges all cross shards
+  sparse.radix = 2;
+
+  std::vector<std::vector<double>> sums(kCollNodes);
+  std::vector<Bytes> bc(kCollNodes, Bytes(128));
+  std::vector<double> sparse_out(kCollNodes, 0.0);
+  for (int i = 0; i < kCollNodes; ++i) {
+    const bool in_sparse = i == 0 || i == 3 || i == 5 || i == 6;
+    cl.spawn_on(i, [](fm2::Endpoint& ep, net::CollGroupSpec a,
+                      net::CollGroupSpec sp, bool member, int rank,
+                      std::vector<double>& sum, MutByteSpan bcast,
+                      double& sout) -> Task<void> {
+      co_await ep.coll_join(a);
+      if (member) co_await ep.coll_join(sp);
+      for (int r = 0; r < 3; ++r) {
+        double v[2] = {rank * 1.25 + r, double(rank % 3)};
+        co_await ep.coll_allreduce(a.id, std::span<double>{v, 2},
+                                   fm2::Endpoint::CollRed::kSum);
+        sum.push_back(v[0]);
+        sum.push_back(v[1]);
+        co_await ep.coll_barrier(a.id);
+      }
+      if (rank == 0) {
+        Bytes src = pattern_bytes(42, bcast.size());
+        std::copy(src.begin(), src.end(), bcast.begin());
+      }
+      co_await ep.coll_bcast(a.id, bcast);
+      if (member) {
+        double s = 1.0 + rank;
+        co_await ep.coll_allreduce(sp.id, std::span<double>{&s, 1},
+                                   fm2::Endpoint::CollRed::kMax);
+        sout = s;
+      }
+      double red[2] = {double(rank), -double(rank)};
+      co_await ep.coll_reduce(a.id, std::span<double>{red, 2},
+                              fm2::Endpoint::CollRed::kSum);
+      if (rank == 0) {
+        sum.push_back(red[0]);
+        sum.push_back(red[1]);
+      }
+    }(*eps[i], all, sparse, in_sparse, i, sums[i], MutByteSpan{bc[i]},
+      sparse_out[i]));
+  }
+
+  auto r = cl.run(threads);
+  EXPECT_EQ(r.pending_roots, 0) << "deadlock: unfinished roots";
+
+  Digest d;
+  d.mix(r.events);
+  for (int s = 0; s < cl.n_shards(); ++s) d.mix(cl.shard_engine(s).now());
+  for (int i = 0; i < kCollNodes; ++i) {
+    d.mix(crc32(ByteSpan{reinterpret_cast<const std::byte*>(sums[i].data()),
+                         sums[i].size() * sizeof(double)}));
+    d.mix(crc32(ByteSpan{bc[i]}));
+    std::uint64_t sbits;
+    std::memcpy(&sbits, &sparse_out[i], sizeof(sbits));
+    d.mix(sbits);
+    const auto& ns = cl.node(i).nic().stats();
+    d.mix(ns.coll_rx_packets);
+    d.mix(ns.coll_combines);
+    d.mix(ns.coll_forwards);
+    d.mix(ns.coll_completions);
+    d.mix(ns.coll_orphaned);
+    d.mix(ns.coll_stale);
+    d.mix(ns.tx_packets);
+    d.mix(ns.retransmissions);
+    d.mix(eps[i]->stats().handler_starts);
+    EXPECT_EQ(cl.node(i).nic().coll_pending(), 0u) << "node " << i;
+  }
+  const auto fs = cl.fabric_stats();
+  d.mix(fs.packets);
+  d.mix(fs.payload_bytes);
+  d.mix(fs.dropped);
+  d.mix(fs.corrupted);
+  for (const auto& inj : injectors) {
+    d.mix(inj->stats().packets_seen);
+    d.mix(inj->stats().drops);
+  }
+  return d.h;
+}
+
+TEST(ParallelDeterminism, NicCollectivesBitIdenticalAcrossThreadCounts) {
+  const std::uint64_t serial = run_coll_workload(1, false);
+  EXPECT_EQ(run_coll_workload(2, false), serial);
+  EXPECT_EQ(run_coll_workload(4, false), serial);
+}
+
+TEST(ParallelDeterminism, NicCollectivesLossyBitIdenticalAcrossThreadCounts) {
+  const std::uint64_t serial = run_coll_workload(1, true);
+  EXPECT_EQ(run_coll_workload(2, true), serial);
+  EXPECT_EQ(run_coll_workload(4, true), serial);
 }
 
 TEST(ParallelDeterminism, RendezvousRdmaBitIdenticalAcrossThreadCounts) {

@@ -1,0 +1,196 @@
+// Unit tests for the NIC collective tree builder (myrinet/coll.hpp):
+// structural validity (single root, parent/child consistency, acyclicity,
+// full coverage), the radix knob, topology-derived clustering (members on
+// one crossbar/edge switch stay under one leader), fat-tree vs chain
+// divergence, and determinism.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "myrinet/coll.hpp"
+#include "myrinet/topo.hpp"
+
+namespace fmx::net {
+namespace {
+
+FabricParams chain_params(int hosts_per_switch = 8) {
+  FabricParams p;
+  p.topology = TopologyKind::kChain;
+  p.hosts_per_switch = hosts_per_switch;
+  return p;
+}
+
+FabricParams fat_tree_params(int radix, int oversub = 1) {
+  FabricParams p;
+  p.topology = TopologyKind::kFatTree;
+  p.fat_tree_radix = radix;
+  p.oversubscription = oversub;
+  return p;
+}
+
+// Build every member's tree slice and cross-check the whole structure.
+std::map<int, CollTree> build_all(const Topo& topo,
+                                  const std::vector<int>& members,
+                                  int radix) {
+  std::map<int, CollTree> t;
+  for (int m : members) t[m] = coll_tree(topo, members, radix, m);
+  return t;
+}
+
+void expect_valid_tree(const Topo& topo, const std::vector<int>& members,
+                       int radix) {
+  auto trees = build_all(topo, members, radix);
+  // Exactly one root: members[0].
+  for (int m : members) {
+    if (m == members[0]) {
+      EXPECT_EQ(trees[m].parent, -1) << "root " << m << " has a parent";
+    } else {
+      EXPECT_NE(trees[m].parent, -1) << m << " is a second root";
+    }
+  }
+  // Parent/child agreement: m's parent lists m as a child, exactly once.
+  for (int m : members) {
+    const int p = trees[m].parent;
+    if (p < 0) continue;
+    ASSERT_TRUE(trees.count(p)) << "parent " << p << " not a member";
+    EXPECT_EQ(std::count(trees[p].children.begin(), trees[p].children.end(),
+                         m),
+              1)
+        << p << " does not list child " << m << " exactly once";
+  }
+  // Every child edge has a matching parent pointer.
+  for (int m : members) {
+    for (int c : trees[m].children) {
+      ASSERT_TRUE(trees.count(c));
+      EXPECT_EQ(trees[c].parent, m);
+    }
+  }
+  // Acyclic and fully covered: every member reaches the root.
+  for (int m : members) {
+    std::set<int> seen;
+    int cur = m;
+    while (trees[cur].parent >= 0) {
+      ASSERT_TRUE(seen.insert(cur).second) << "cycle through " << cur;
+      cur = trees[cur].parent;
+    }
+    EXPECT_EQ(cur, members[0]);
+  }
+  // Fan-out bound: a node leads at most `radix` members of its own
+  // cluster plus `coll_leader_radix` subordinate cluster leaders (the
+  // leader level widens to stay at depth <= 2).
+  std::set<int> switches;
+  for (int m : members) switches.insert(topo.first_switch(m));
+  const unsigned leader_radix = static_cast<unsigned>(
+      coll_leader_radix(radix, static_cast<int>(switches.size())));
+  for (int m : members) {
+    EXPECT_LE(trees[m].children.size(),
+              leader_radix + static_cast<unsigned>(radix))
+        << "node " << m;
+  }
+}
+
+TEST(CollTree, ChainStructureAcrossRadixes) {
+  Topo topo(chain_params(8), 32);
+  std::vector<int> all(32);
+  for (int i = 0; i < 32; ++i) all[i] = i;
+  for (int radix : {1, 2, 4, 8}) expect_valid_tree(topo, all, radix);
+}
+
+TEST(CollTree, FatTreeStructure) {
+  Topo topo(fat_tree_params(4), 16);
+  std::vector<int> all(16);
+  for (int i = 0; i < 16; ++i) all[i] = i;
+  for (int radix : {1, 2, 4}) expect_valid_tree(topo, all, radix);
+}
+
+TEST(CollTree, SparseMembershipAndNonZeroRoot) {
+  Topo topo(chain_params(4), 24);
+  // Root 13 leads; members scattered across switches, unsorted on purpose.
+  std::vector<int> members = {13, 2, 21, 7, 0, 18, 5, 11};
+  expect_valid_tree(topo, members, 2);
+  auto trees = build_all(topo, members, 2);
+  EXPECT_EQ(trees[13].parent, -1);
+}
+
+TEST(CollTree, RadixKnobChangesArity) {
+  Topo topo(chain_params(64), 64);  // one switch: pure radix-ary tree
+  std::vector<int> all(64);
+  for (int i = 0; i < 64; ++i) all[i] = i;
+  // Single cluster, so the root's children count == min(radix, n-1).
+  for (int radix : {1, 2, 4, 16}) {
+    CollTree root = coll_tree(topo, all, radix, 0);
+    EXPECT_EQ(root.children.size(), static_cast<std::size_t>(radix))
+        << "radix " << radix;
+  }
+  // Depth shrinks as radix grows: radix-1 is a 63-deep list.
+  CollTree leaf = coll_tree(topo, all, 1, 63);
+  EXPECT_EQ(leaf.parent, 62);
+}
+
+TEST(CollTree, ClusteringKeepsSwitchLocalMembersUnderTheirLeader) {
+  Topo topo(chain_params(8), 32);
+  std::vector<int> all(32);
+  for (int i = 0; i < 32; ++i) all[i] = i;
+  auto trees = build_all(topo, all, 4);
+  std::set<int> leaders;
+  for (int m : all) {
+    const int p = trees[m].parent;
+    if (p < 0) continue;
+    if (topo.first_switch(p) == topo.first_switch(m)) continue;
+    // Cross-switch edge: only a cluster leader (lowest id on its switch,
+    // or the root) may hang off another switch.
+    leaders.insert(m);
+    EXPECT_EQ(m % 8, 0) << "non-leader " << m << " crosses switches";
+  }
+  EXPECT_FALSE(leaders.empty());
+}
+
+TEST(CollTree, FatTreeAndChainDisagree) {
+  // Same member list, different physical clustering (8 per chain crossbar
+  // vs 2 per fat-tree edge switch) must yield different trees for at
+  // least one member.
+  Topo chain(chain_params(8), 16);
+  Topo ft(fat_tree_params(4), 16);
+  std::vector<int> all(16);
+  for (int i = 0; i < 16; ++i) all[i] = i;
+  bool differs = false;
+  for (int m : all) {
+    CollTree a = coll_tree(chain, all, 2, m);
+    CollTree b = coll_tree(ft, all, 2, m);
+    if (a.parent != b.parent || a.children != b.children) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(CollTree, LeaderRadixCapsHeapDepth) {
+  // Never narrower than the configured radix...
+  EXPECT_EQ(coll_leader_radix(4, 1), 4);
+  EXPECT_EQ(coll_leader_radix(4, 21), 4);  // 1 + 4 + 16 = 21 fits
+  // ...and widens just enough to keep 1 + r + r^2 >= n_clusters.
+  EXPECT_EQ(coll_leader_radix(4, 22), 5);
+  EXPECT_EQ(coll_leader_radix(6, 43), 6);
+  EXPECT_EQ(coll_leader_radix(6, 74), 9);   // 1 + 9 + 81 >= 74
+  EXPECT_EQ(coll_leader_radix(1, 3), 1);    // 1 + 1 + 1 = 3 fits at r=1
+  // The depth-<=2 invariant itself, across a sweep.
+  for (int n = 1; n <= 500; ++n) {
+    const int r = coll_leader_radix(2, n);
+    EXPECT_GE(1 + r + r * r, n) << n;
+  }
+}
+
+TEST(CollTree, Deterministic) {
+  Topo topo(fat_tree_params(4, 2), 20);
+  std::vector<int> members = {3, 0, 7, 12, 19, 9, 14};
+  for (int m : members) {
+    CollTree a = coll_tree(topo, members, 3, m);
+    CollTree b = coll_tree(topo, members, 3, m);
+    EXPECT_EQ(a.parent, b.parent);
+    EXPECT_EQ(a.children, b.children);
+  }
+}
+
+}  // namespace
+}  // namespace fmx::net
